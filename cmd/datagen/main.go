@@ -1,0 +1,54 @@
+// Command datagen emits the synthetic benchmark-shaped workloads as CSV
+// files (left table, right table, labeled pairs) so they can be inspected
+// or fed back through cmd/learnrisk's CSV path.
+//
+//	datagen -profile AB -scale 0.1 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "DS", "profile: DS|AB|AG|SG|DA or 'all'")
+		scale   = flag.Float64("scale", 0.1, "scale relative to paper Table 2 sizes")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	names := []string{*profile}
+	if *profile == "all" {
+		names = datagen.Names()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		spec, ok := datagen.ByName(name, *seed)
+		if !ok {
+			fatal(fmt.Errorf("unknown profile %q", name))
+		}
+		w, err := datagen.Generate(spec, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dataset.SaveWorkload(*out, w); err != nil {
+			fatal(err)
+		}
+		st := w.Stats()
+		fmt.Printf("%s: wrote %s/%s_{left,right,pairs}.csv (%d pairs, %d matches, %d attrs)\n",
+			name, *out, name, st.Size, st.Matches, st.Attributes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,205 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the synthetic benchmark-shaped workloads:
+//
+//	experiments -exp all            # everything (laptop-scale by default)
+//	experiments -exp fig9 -scale 0.1
+//	experiments -exp table2
+//
+// Experiments: table2, illustrations, fig9, fig10, fig11, fig12, fig13,
+// fig14, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/active"
+	"repro/internal/classifier"
+	"repro/internal/dtree"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run: table2|illustrations|fig9|fig10|fig11|fig12|fig13|fig14|all")
+		scale = flag.Float64("scale", 0.1, "dataset scale relative to paper Table 2")
+		seed  = flag.Uint64("seed", 1, "master random seed")
+		quick = flag.Bool("quick", false, "use test-sized settings (fast smoke run)")
+	)
+	flag.Parse()
+
+	s := experiments.Default()
+	if *quick {
+		s = experiments.Quick()
+	}
+	s.Scale = *scale
+	if *quick && !flagPassed("scale") {
+		s.Scale = experiments.Quick().Scale
+	}
+	s.Seed = *seed
+
+	if err := run(*exp, s); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+func run(exp string, s experiments.Settings) error {
+	switch exp {
+	case "table2":
+		return table2(s)
+	case "illustrations":
+		fmt.Println(experiments.Illustrations())
+		return nil
+	case "calibration":
+		out, err := experiments.CalibrationClaim("DS", s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	case "fig9":
+		return fig9(s)
+	case "fig10":
+		return fig10(s)
+	case "fig11":
+		return fig11(s)
+	case "fig12":
+		return fig12(s)
+	case "fig13":
+		return fig13(s)
+	case "fig14":
+		return fig14(s)
+	case "noise":
+		return noiseSweep(s)
+	case "all":
+		for _, e := range []string{"table2", "illustrations", "calibration", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "noise"} {
+			if err := run(e, s); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+func table2(s experiments.Settings) error {
+	sts, err := experiments.Table2(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Table 2 — dataset statistics (scale %.2f of the paper's sizes) ==\n", s.Scale)
+	fmt.Println(experiments.FormatTable2(sts))
+	return nil
+}
+
+func fig9(s experiments.Settings) error {
+	fmt.Println("== Figure 9 — comparative evaluation (AUROC per method) ==")
+	cells, err := experiments.Fig9(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatCells(cells))
+	return nil
+}
+
+func fig10(s experiments.Settings) error {
+	fmt.Println("== Figure 10 — out-of-distribution evaluation ==")
+	var cells []*experiments.CellResult
+	for _, name := range experiments.Fig10Workloads() {
+		cell, err := experiments.Fig10(name, s)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, cell)
+	}
+	fmt.Println(experiments.FormatCells(cells))
+	return nil
+}
+
+func fig11(s experiments.Settings) error {
+	fmt.Println("== Figure 11 — comparison with HoloClean (mean AUROC over subsets) ==")
+	var results []*experiments.Fig11Result
+	for _, d := range experiments.Fig9Datasets() {
+		pairs := 1000
+		if d == "SG" {
+			pairs = 2000
+		}
+		r, err := experiments.Fig11(d, pairs, 5, s)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	fmt.Println(experiments.FormatFig11(results))
+	return nil
+}
+
+func fig12(s experiments.Settings) error {
+	fmt.Println("== Figure 12 — sensitivity to risk-training data size ==")
+	for _, d := range []string{"DS", "AB"} {
+		pts, err := experiments.Fig12Random(d, []float64{0.01, 0.05, 0.10, 0.15, 0.20}, s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSensitivity(d+" (random sampling)", pts))
+		apts, err := experiments.Fig12Active(d, []int{100, 200, 300, 400}, s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSensitivity(d+" (active selection)", apts))
+	}
+	return nil
+}
+
+func fig13(s experiments.Settings) error {
+	fmt.Println("== Figure 13 — scalability on DS ==")
+	sizes := []int{500, 1000, 1500, 2000, 2500}
+	rg, err := experiments.Fig13RuleGen("DS", sizes, s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatScalability("(a) rule generation runtime", rg))
+	rt, err := experiments.Fig13RiskTraining("DS", []int{250, 500, 1000, 1500, 2000}, s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatScalability("(b) risk-model training runtime", rt))
+	return nil
+}
+
+func noiseSweep(s experiments.Settings) error {
+	fmt.Println("== Dirtiness sweep on DS (extension experiment) ==")
+	pts, err := experiments.NoiseSweep("DS", []float64{0.15, 0.3, 0.45, 0.6, 0.75}, s)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatNoiseSweep(pts))
+	return nil
+}
+
+func fig14(s experiments.Settings) error {
+	fmt.Println("== Figure 14 — ER active learning on DS ==")
+	curves, err := experiments.Fig14("DS", s, active.Config{
+		InitialSize: 128, BatchSize: 64, Rounds: 9,
+		Classifier: classifier.Config{Epochs: 25},
+		RuleGen:    dtree.OneSidedConfig{MaxDepth: 2, BranchFactor: 4},
+		Seed:       s.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFig14(curves))
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command learnrisk runs the full risk-analysis pipeline on a workload and
+// prints the ranked risky pairs with their interpretable explanations.
+//
+//	learnrisk -profile DS -scale 0.05 -top 10
+//	learnrisk -left l.csv -right r.csv -pairs p.csv -attrs "title:text,year:numeric"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	learnrisk "repro"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "DS", "synthetic profile: DS|AB|AG|SG|DA (ignored when -left is set)")
+		scale   = flag.Float64("scale", 0.05, "synthetic dataset scale")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		top     = flag.Int("top", 10, "number of risky pairs to print")
+		ratio   = flag.String("ratio", "3:2:5", "train:validation:test split ratio")
+		left    = flag.String("left", "", "left table CSV (id,entity_id,attrs...)")
+		right   = flag.String("right", "", "right table CSV")
+		pairs   = flag.String("pairs", "", "pairs CSV (left_id,right_id,match); empty = token blocking")
+		attrs   = flag.String("attrs", "", `schema as "name:type,..." with type in entity-name|entity-set|text|numeric|categorical`)
+		rules   = flag.Bool("rules", false, "also print the generated risk features")
+		leipzig = flag.String("leipzig", "", "load a real Leipzig benchmark: dblp-scholar|abt-buy|amazon-google (uses -left, -right and -pairs as the three published files)")
+	)
+	flag.Parse()
+
+	var w *learnrisk.Workload
+	var err error
+	if *leipzig != "" {
+		w, err = learnrisk.LoadLeipzig(*leipzig, *left, *right, *pairs)
+	} else {
+		w, err = loadWorkload(*profile, *scale, *seed, *left, *right, *pairs, *attrs)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s: %d pairs, %d matches, %d attributes\n",
+		w.Name(), w.Size(), w.Matches(), w.Attributes())
+
+	rep, err := learnrisk.Run(w, learnrisk.Options{SplitRatio: *ratio, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("classifier: F1=%.3f accuracy=%.3f mislabels=%d/%d\n",
+		rep.ClassifierF1, rep.ClassifierAccuracy, rep.Mislabels, len(rep.Ranking))
+	fmt.Printf("risk model: %d features, coverage %.2f, AUROC=%.3f\n\n",
+		rep.NumFeatures, rep.RuleCoverage, rep.AUROC)
+
+	if *rules {
+		fmt.Println("risk features:")
+		for _, r := range rep.Features() {
+			fmt.Println("  " + r)
+		}
+		fmt.Println()
+	}
+
+	names := w.AttrNames()
+	n := *top
+	if n > len(rep.Ranking) {
+		n = len(rep.Ranking)
+	}
+	for rank, rp := range rep.Ranking[:n] {
+		status := "correct"
+		if rp.Mislabeled {
+			status = "MISLABELED"
+		}
+		label := "unmatching"
+		if rp.Match {
+			label = "matching"
+		}
+		fmt.Printf("#%d risk=%.3f machine=%s (p=%.3f) ground-truth: %s\n",
+			rank+1, rp.Risk, label, rp.Prob, status)
+		l, r := w.PairValues(rp.PairIndex)
+		for a := range names {
+			fmt.Printf("    %-12s | %-34s | %s\n", names[a], clip(l[a], 34), clip(r[a], 34))
+		}
+		for _, line := range rep.Explain(rp)[:minInt(3, len(rep.Explain(rp)))] {
+			fmt.Println("    why: " + line)
+		}
+		fmt.Println()
+	}
+}
+
+func loadWorkload(profile string, scale float64, seed uint64, left, right, pairs, attrs string) (*learnrisk.Workload, error) {
+	if left == "" {
+		return learnrisk.Generate(profile, scale, seed)
+	}
+	if right == "" || attrs == "" {
+		return nil, fmt.Errorf("-left requires -right and -attrs")
+	}
+	var schema []learnrisk.Attr
+	for _, part := range strings.Split(attrs, ",") {
+		nt := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(nt) != 2 {
+			return nil, fmt.Errorf("bad attr spec %q", part)
+		}
+		schema = append(schema, learnrisk.Attr{Name: nt[0], Type: nt[1]})
+	}
+	return learnrisk.LoadCSV("csv", left, right, pairs, schema)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "learnrisk:", err)
+	os.Exit(1)
+}

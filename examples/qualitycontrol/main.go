@@ -1,0 +1,53 @@
+// Qualitycontrol: the r-HUMO-style application of risk analysis (paper
+// Section 1, [33]): spend the minimum human verification budget needed to
+// reach a labeling-quality guarantee by verifying pairs in risk order.
+//
+//	go run ./examples/qualitycontrol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	learnrisk "repro"
+)
+
+func main() {
+	w, err := learnrisk.Generate("AG", 0.1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := learnrisk.Run(w, learnrisk.Options{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(report.Ranking)
+	fmt.Printf("machine labeling: accuracy %.3f, %d mislabels among %d pairs\n\n",
+		report.ClassifierAccuracy, report.Mislabels, n)
+
+	// The cost/quality tradeoff curve.
+	fmt.Printf("%10s %10s %12s %10s\n", "budget", "fixed", "accuracy", "F1")
+	budgets := []int{0, n / 50, n / 20, n / 10, n / 5}
+	curve, err := report.BudgetCurve(budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range curve {
+		fmt.Printf("%10d %10d %12.3f %10.3f\n", o.Budget, o.Corrected, o.AccAfter, o.F1After)
+	}
+
+	// Quality guarantees: how much human effort does each target cost?
+	fmt.Println("\nminimum budget per accuracy guarantee:")
+	for _, target := range []float64{0.95, 0.98, 0.99, 1.0} {
+		budget, ok, err := report.MinBudgetForAccuracy(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("  %.2f: unreachable\n", target)
+			continue
+		}
+		fmt.Printf("  %.2f: verify %d of %d pairs (%.1f%%)\n",
+			target, budget, n, 100*float64(budget)/float64(n))
+	}
+}

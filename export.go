@@ -1,0 +1,94 @@
+package learnrisk
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteRankingCSV writes the risk ranking as CSV (rank, pair_index, risk,
+// classifier_prob, machine_label, mislabeled) for spreadsheet triage or
+// downstream tooling.
+func (r *Report) WriteRankingCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "pair_index", "risk", "classifier_prob", "machine_label", "mislabeled"}); err != nil {
+		return err
+	}
+	for rank, rp := range r.Ranking {
+		row := []string{
+			strconv.Itoa(rank + 1),
+			strconv.Itoa(rp.PairIndex),
+			strconv.FormatFloat(rp.Risk, 'f', 6, 64),
+			strconv.FormatFloat(rp.Prob, 'f', 6, 64),
+			label(rp.Match),
+			strconv.FormatBool(rp.Mislabeled),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func label(match bool) string {
+	if match {
+		return "matching"
+	}
+	return "unmatching"
+}
+
+// reportJSON is the exported JSON shape of a report.
+type reportJSON struct {
+	AUROC              float64          `json:"auroc"`
+	ClassifierF1       float64          `json:"classifier_f1"`
+	ClassifierAccuracy float64          `json:"classifier_accuracy"`
+	Mislabels          int              `json:"mislabels"`
+	NumFeatures        int              `json:"num_features"`
+	RuleCoverage       float64          `json:"rule_coverage"`
+	Features           []string         `json:"features"`
+	Ranking            []rankedPairJSON `json:"ranking"`
+}
+
+type rankedPairJSON struct {
+	Rank       int      `json:"rank"`
+	PairIndex  int      `json:"pair_index"`
+	Risk       float64  `json:"risk"`
+	Prob       float64  `json:"classifier_prob"`
+	Label      string   `json:"machine_label"`
+	Mislabeled bool     `json:"mislabeled"`
+	Why        []string `json:"why,omitempty"`
+}
+
+// WriteJSON writes the whole report — summary metrics, generated features
+// and the ranking with per-pair explanations for the top explainLimit pairs
+// (0 = no explanations) — as indented JSON.
+func (r *Report) WriteJSON(w io.Writer, explainLimit int) error {
+	out := reportJSON{
+		AUROC:              r.AUROC,
+		ClassifierF1:       r.ClassifierF1,
+		ClassifierAccuracy: r.ClassifierAccuracy,
+		Mislabels:          r.Mislabels,
+		NumFeatures:        r.NumFeatures,
+		RuleCoverage:       r.RuleCoverage,
+		Features:           r.Features(),
+	}
+	for rank, rp := range r.Ranking {
+		rj := rankedPairJSON{
+			Rank:       rank + 1,
+			PairIndex:  rp.PairIndex,
+			Risk:       rp.Risk,
+			Prob:       rp.Prob,
+			Label:      label(rp.Match),
+			Mislabeled: rp.Mislabeled,
+		}
+		if rank < explainLimit {
+			rj.Why = r.Explain(rp)
+		}
+		out.Ranking = append(out.Ranking, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

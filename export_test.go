@@ -1,0 +1,80 @@
+package learnrisk
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"testing"
+)
+
+func TestWriteRankingCSV(t *testing.T) {
+	rep := triageReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteRankingCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rep.Ranking)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(rows), len(rep.Ranking)+1)
+	}
+	if rows[0][0] != "rank" || rows[0][2] != "risk" {
+		t.Errorf("header = %v", rows[0])
+	}
+	// Risk column is sorted descending and parses.
+	prev := 2.0
+	for _, row := range rows[1:] {
+		risk, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if risk > prev {
+			t.Fatal("csv risks not descending")
+		}
+		prev = risk
+		if row[4] != "matching" && row[4] != "unmatching" {
+			t.Fatalf("bad label %q", row[4])
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rep := triageReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		AUROC    float64  `json:"auroc"`
+		Features []string `json:"features"`
+		Ranking  []struct {
+			Rank int      `json:"rank"`
+			Risk float64  `json:"risk"`
+			Why  []string `json:"why"`
+		} `json:"ranking"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.AUROC != rep.AUROC {
+		t.Errorf("auroc = %f, want %f", decoded.AUROC, rep.AUROC)
+	}
+	if len(decoded.Features) != rep.NumFeatures {
+		t.Errorf("features = %d, want %d", len(decoded.Features), rep.NumFeatures)
+	}
+	if len(decoded.Ranking) != len(rep.Ranking) {
+		t.Fatalf("ranking = %d, want %d", len(decoded.Ranking), len(rep.Ranking))
+	}
+	// Explanations only on the first 3.
+	for i, rp := range decoded.Ranking {
+		if i < 3 && len(rp.Why) == 0 {
+			t.Errorf("rank %d missing explanation", rp.Rank)
+		}
+		if i >= 3 && len(rp.Why) != 0 {
+			t.Errorf("rank %d has unexpected explanation", rp.Rank)
+		}
+	}
+}

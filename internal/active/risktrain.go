@@ -1,0 +1,131 @@
+package active
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dtree"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+)
+
+// RiskTrainConfig controls risk-aware classifier training, the second
+// potential application sketched in paper Section 8 ("Model Training"):
+// besides label consistency on the labeled instances, the classifier
+// should minimize prediction risk on the unlabeled target instances. This
+// implementation realizes that objective as risk-filtered self-training:
+// target pairs whose machine labels carry low risk become pseudo-labeled
+// training data, weighted by their confidence (1 - risk).
+type RiskTrainConfig struct {
+	// PseudoFraction is the fraction of target pairs adopted as
+	// pseudo-labels, lowest risk first (default 0.5).
+	PseudoFraction float64
+	// MaxRisk caps the VaR risk of an adopted pseudo-label (default 0.3).
+	MaxRisk float64
+	// Classifier configures both the base and the retrained matcher.
+	Classifier classifier.Config
+	// Risk configures the risk model used for filtering.
+	Risk core.Config
+	// RuleGen configures risk-feature generation.
+	RuleGen dtree.OneSidedConfig
+	Seed    uint64
+}
+
+func (c RiskTrainConfig) withDefaults() RiskTrainConfig {
+	if c.PseudoFraction == 0 {
+		c.PseudoFraction = 0.5
+	}
+	if c.MaxRisk == 0 {
+		c.MaxRisk = 0.3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Risk.Epochs == 0 {
+		c.Risk.Epochs = 300
+	}
+	return c
+}
+
+// RiskTrainResult reports both matchers so callers can compare.
+type RiskTrainResult struct {
+	Base         *classifier.Matcher
+	Retrained    *classifier.Matcher
+	PseudoLabels int // target pairs adopted as pseudo-labeled data
+}
+
+// RiskAwareTrain trains a base classifier on the labeled pairs, risk-ranks
+// its labels on the unlabeled target pairs, adopts the low-risk machine
+// labels as pseudo-labels, and retrains on the union.
+func RiskAwareTrain(w *dataset.Workload, cat *metrics.Catalog, labeled, target []int,
+	cfg RiskTrainConfig) (*RiskTrainResult, error) {
+
+	cfg = cfg.withDefaults()
+	base, err := classifier.Train(w, cat, labeled, withSeed(cfg.Classifier, cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("active: base training: %w", err)
+	}
+
+	// Risk model from the labeled data (truth known there).
+	labeledX := rules.Matrix(w, cat, labeled)
+	y := make([]bool, len(labeled))
+	for k, i := range labeled {
+		y[k] = w.Pairs[i].Match
+	}
+	rs := dtree.GenerateRiskFeatures(labeledX, y, cat.Names(), cfg.RuleGen)
+	sts := rules.Stats(rs, labeledX, y)
+	model, err := core.New(core.BuildFeatures(rs, sts), cfg.Risk)
+	if err != nil {
+		return nil, err
+	}
+	labLabeled := base.Label(w, labeled)
+	insts, bad := core.BuildInstances(rules.Apply(rs, labeledX), labLabeled)
+	if err := model.Fit(insts, bad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
+		return nil, err
+	}
+
+	// Score the target pairs and adopt the safest machine labels.
+	targetX := rules.Matrix(w, cat, target)
+	labTarget := base.Label(w, target)
+	targetInsts, _ := core.BuildInstances(rules.Apply(rs, targetX), labTarget)
+	risks := model.RiskAll(targetInsts)
+
+	order := make([]int, len(target))
+	for k := range order {
+		order[k] = k
+	}
+	sort.SliceStable(order, func(a, b int) bool { return risks[order[a]] < risks[order[b]] })
+	limit := int(cfg.PseudoFraction * float64(len(target)))
+
+	// Retrain on labeled (true labels) plus pseudo-labeled target pairs.
+	// The pseudo workload reuses the record tables; pseudo pairs carry the
+	// machine label as their (possibly wrong) ground truth.
+	pseudo := &dataset.Workload{Name: w.Name + "+pseudo", Left: w.Left, Right: w.Right}
+	var trainIdx []int
+	for _, i := range labeled {
+		pseudo.Pairs = append(pseudo.Pairs, w.Pairs[i])
+		trainIdx = append(trainIdx, len(pseudo.Pairs)-1)
+	}
+	adopted := 0
+	for _, k := range order[:limit] {
+		if risks[k] > cfg.MaxRisk {
+			break
+		}
+		p := w.Pairs[target[k]]
+		p.Match = labTarget.Label[k] // machine label as pseudo ground truth
+		pseudo.Pairs = append(pseudo.Pairs, p)
+		trainIdx = append(trainIdx, len(pseudo.Pairs)-1)
+		adopted++
+	}
+
+	retrainCfg := withSeed(cfg.Classifier, cfg.Seed+1)
+	retrained, err := classifier.Train(pseudo, cat, trainIdx, retrainCfg)
+	if err != nil {
+		return nil, fmt.Errorf("active: retraining: %w", err)
+	}
+	return &RiskTrainResult{Base: base, Retrained: retrained, PseudoLabels: adopted}, nil
+}

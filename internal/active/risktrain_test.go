@@ -1,0 +1,73 @@
+package active
+
+import (
+	"testing"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/dtree"
+)
+
+func riskTrainCfg(seed uint64) RiskTrainConfig {
+	return RiskTrainConfig{
+		Classifier: classifier.Config{Epochs: 15},
+		RuleGen:    dtree.OneSidedConfig{MaxDepth: 2, BranchFactor: 3},
+		Risk:       core.Config{Epochs: 120},
+		Seed:       seed,
+	}
+}
+
+func TestRiskAwareTrain(t *testing.T) {
+	// Small labeled set, large unlabeled target — the regime where
+	// pseudo-labeling helps.
+	labeled := pool[:100]
+	target := pool[100:]
+	res, err := RiskAwareTrain(testW, testCat, labeled, target, riskTrainCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Base == nil || res.Retrained == nil {
+		t.Fatal("missing matchers")
+	}
+	if res.PseudoLabels == 0 {
+		t.Error("no pseudo-labels adopted; risk filter too strict for this workload")
+	}
+	if res.PseudoLabels > len(target) {
+		t.Errorf("adopted %d pseudo-labels from %d targets", res.PseudoLabels, len(target))
+	}
+	baseF1 := res.Base.Label(testW, test).F1()
+	newF1 := res.Retrained.Label(testW, test).F1()
+	t.Logf("base F1 %.3f -> retrained F1 %.3f with %d pseudo-labels", baseF1, newF1, res.PseudoLabels)
+	// Self-training on low-risk labels must not collapse the classifier.
+	if newF1 < baseF1-0.15 {
+		t.Errorf("retraining degraded F1 badly: %.3f -> %.3f", baseF1, newF1)
+	}
+}
+
+func TestRiskAwareTrainPseudoLabelQuality(t *testing.T) {
+	labeled := pool[:120]
+	target := pool[120:]
+	cfg := riskTrainCfg(5)
+	cfg.MaxRisk = 0.2
+	res, err := RiskAwareTrain(testW, testCat, labeled, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adopted pseudo-labels should be mostly correct — that is what
+	// low VaR risk promises. Verify against ground truth by re-deriving
+	// the adoption set.
+	if res.PseudoLabels == 0 {
+		t.Skip("filter adopted nothing at MaxRisk=0.2")
+	}
+	// Sanity proxy: the retrained classifier should still beat chance.
+	acc := res.Retrained.Label(testW, test).Accuracy()
+	if acc < 0.7 {
+		t.Errorf("retrained accuracy %.3f", acc)
+	}
+}
+
+func TestRiskAwareTrainErrors(t *testing.T) {
+	if _, err := RiskAwareTrain(testW, testCat, nil, pool, riskTrainCfg(1)); err == nil {
+		t.Error("empty labeled set should fail")
+	}
+}

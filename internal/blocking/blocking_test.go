@@ -1,0 +1,116 @@
+package blocking
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func twoTables() (*dataset.Table, *dataset.Table) {
+	schema := &dataset.Schema{Name: "s", Attrs: []dataset.Attr{
+		{Name: "title", Type: metrics.Text},
+	}}
+	left := &dataset.Table{Name: "L", Schema: schema, Records: []dataset.Record{
+		{ID: "l0", EntityID: "e0", Values: []string{"spatial join processing"}},
+		{ID: "l1", EntityID: "e1", Values: []string{"query optimization survey"}},
+		{ID: "l2", EntityID: "e2", Values: []string{"zzz unique thing"}},
+	}}
+	right := &dataset.Table{Name: "R", Schema: schema, Records: []dataset.Record{
+		{ID: "r0", EntityID: "e0", Values: []string{"processing of spatial join"}},
+		{ID: "r1", EntityID: "e1", Values: []string{"a survey of query optimization"}},
+		{ID: "r2", EntityID: "e9", Values: []string{"completely different words"}},
+	}}
+	return left, right
+}
+
+func TestCandidatesFindMatches(t *testing.T) {
+	left, right := twoTables()
+	pairs := Candidates(left, right, Config{})
+	if len(pairs) == 0 {
+		t.Fatal("no candidates")
+	}
+	found := map[[2]int]bool{}
+	matchCount := 0
+	for _, p := range pairs {
+		found[[2]int{p.Left, p.Right}] = true
+		if p.Match {
+			matchCount++
+		}
+	}
+	if !found[[2]int{0, 0}] || !found[[2]int{1, 1}] {
+		t.Errorf("expected matching candidates, got %v", pairs)
+	}
+	if found[[2]int{2, 2}] {
+		t.Error("disjoint records should not be candidates")
+	}
+	if matchCount != 2 {
+		t.Errorf("match count = %d, want 2", matchCount)
+	}
+	if r := Recall(left, right, pairs); r != 1 {
+		t.Errorf("Recall = %f, want 1", r)
+	}
+}
+
+func TestMinSharedTokens(t *testing.T) {
+	left, right := twoTables()
+	loose := Candidates(left, right, Config{MinSharedTokens: 1})
+	tight := Candidates(left, right, Config{MinSharedTokens: 4})
+	if len(tight) >= len(loose) {
+		t.Errorf("tightening threshold should shrink candidates: %d vs %d", len(tight), len(loose))
+	}
+}
+
+func TestMaxBlockSizePrunesStopTokens(t *testing.T) {
+	schema := &dataset.Schema{Name: "s", Attrs: []dataset.Attr{{Name: "t", Type: metrics.Text}}}
+	left := &dataset.Table{Schema: schema}
+	right := &dataset.Table{Schema: schema}
+	for i := 0; i < 30; i++ {
+		left.Records = append(left.Records, dataset.Record{ID: "l", Values: []string{"common filler"}})
+		right.Records = append(right.Records, dataset.Record{ID: "r", Values: []string{"common filler"}})
+	}
+	pruned := Candidates(left, right, Config{MaxBlockSize: 10})
+	if len(pruned) != 0 {
+		t.Errorf("oversized blocks should be pruned, got %d pairs", len(pruned))
+	}
+	unpruned := Candidates(left, right, Config{MaxBlockSize: -1})
+	if len(unpruned) != 900 {
+		t.Errorf("pruning disabled should yield 900 pairs, got %d", len(unpruned))
+	}
+}
+
+func TestCandidatesDeterministicOrder(t *testing.T) {
+	left, right := twoTables()
+	a := Candidates(left, right, Config{})
+	b := Candidates(left, right, Config{})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic candidate count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic candidate order")
+		}
+	}
+}
+
+func TestBlockingOnGeneratedWorkload(t *testing.T) {
+	w := datagen.MustGenerate(datagen.DS(21), 0.01)
+	pairs := Candidates(w.Left, w.Right, Config{Attrs: []int{0}})
+	if len(pairs) == 0 {
+		t.Fatal("no candidates on generated data")
+	}
+	r := Recall(w.Left, w.Right, pairs)
+	if r < 0.8 {
+		t.Errorf("blocking recall %.2f too low on generated bibliographic data", r)
+	}
+}
+
+func TestRecallNoEntities(t *testing.T) {
+	schema := &dataset.Schema{Name: "s", Attrs: []dataset.Attr{{Name: "t", Type: metrics.Text}}}
+	left := &dataset.Table{Schema: schema, Records: []dataset.Record{{ID: "a", Values: []string{"x"}}}}
+	right := &dataset.Table{Schema: schema, Records: []dataset.Record{{ID: "b", Values: []string{"x"}}}}
+	if r := Recall(left, right, nil); r != 1 {
+		t.Errorf("Recall without ground truth = %f, want vacuous 1", r)
+	}
+}

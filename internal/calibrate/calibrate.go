@@ -1,0 +1,208 @@
+// Package calibrate implements the confidence-calibration techniques the
+// paper's related work discusses ([30] temperature/Platt scaling, isotonic
+// regression): transforms of classifier outputs into probabilities that
+// better reflect true correctness likelihood. The paper's argument for a
+// separate risk model is that "the calibration techniques usually do not
+// change the ranking order of instances as measured by classifier output",
+// so they cannot serve as risk indicators. This package exists to make that
+// claim testable in this repository: Platt scaling is strictly monotone
+// (ranking provably unchanged); isotonic regression is monotone with ties.
+package calibrate
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Platt is a Platt-scaling calibrator [42]: p' = sigmoid(a*logit(p) + b),
+// with a and b fit by maximum likelihood on held-out labels.
+type Platt struct {
+	A, B float64
+}
+
+// FitPlatt fits the calibrator on classifier outputs and binary labels by
+// gradient descent on the log loss. It returns an error on degenerate
+// inputs (empty, or single-class labels).
+func FitPlatt(probs []float64, labels []bool, epochs int, lr float64) (*Platt, error) {
+	if len(probs) == 0 || len(probs) != len(labels) {
+		return nil, errors.New("calibrate: need aligned non-empty probs and labels")
+	}
+	pos := 0
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(labels) {
+		return nil, errors.New("calibrate: labels are single-class")
+	}
+	if epochs <= 0 {
+		epochs = 500
+	}
+	if lr <= 0 {
+		lr = 0.1
+	}
+	logits := make([]float64, len(probs))
+	for i, p := range probs {
+		logits[i] = logit(p)
+	}
+	p := &Platt{A: 1, B: 0}
+	n := float64(len(probs))
+	for e := 0; e < epochs; e++ {
+		var gA, gB float64
+		for i, z := range logits {
+			q := stats.Sigmoid(p.A*z + p.B)
+			y := 0.0
+			if labels[i] {
+				y = 1
+			}
+			gA += (q - y) * z
+			gB += q - y
+		}
+		p.A -= lr * gA / n
+		p.B -= lr * gB / n
+	}
+	return p, nil
+}
+
+func logit(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return math.Log(p / (1 - p))
+}
+
+// Apply calibrates one output.
+func (p *Platt) Apply(prob float64) float64 {
+	return stats.Sigmoid(p.A*logit(prob) + p.B)
+}
+
+// ApplyAll calibrates a batch.
+func (p *Platt) ApplyAll(probs []float64) []float64 {
+	out := make([]float64, len(probs))
+	for i, q := range probs {
+		out[i] = p.Apply(q)
+	}
+	return out
+}
+
+// Monotone reports whether the fitted transform is strictly increasing
+// (A > 0) — in that case the ranking of outputs is provably unchanged,
+// which is the paper's point.
+func (p *Platt) Monotone() bool { return p.A > 0 }
+
+// Isotonic is an isotonic-regression calibrator: a non-decreasing step
+// function fit by the pool-adjacent-violators algorithm (PAVA).
+type Isotonic struct {
+	xs []float64 // breakpoints (sorted classifier outputs)
+	ys []float64 // calibrated values (non-decreasing)
+}
+
+// FitIsotonic fits the step function on outputs and labels.
+func FitIsotonic(probs []float64, labels []bool) (*Isotonic, error) {
+	if len(probs) == 0 || len(probs) != len(labels) {
+		return nil, errors.New("calibrate: need aligned non-empty probs and labels")
+	}
+	type pt struct {
+		x, y float64
+	}
+	pts := make([]pt, len(probs))
+	for i := range probs {
+		y := 0.0
+		if labels[i] {
+			y = 1
+		}
+		pts[i] = pt{x: probs[i], y: y}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+
+	// PAVA over blocks.
+	type block struct {
+		sum   float64
+		count float64
+		xMax  float64
+	}
+	var blocks []block
+	for _, p := range pts {
+		blocks = append(blocks, block{sum: p.y, count: 1, xMax: p.x})
+		for len(blocks) > 1 {
+			a := blocks[len(blocks)-2]
+			b := blocks[len(blocks)-1]
+			if a.sum/a.count <= b.sum/b.count {
+				break
+			}
+			merged := block{sum: a.sum + b.sum, count: a.count + b.count, xMax: b.xMax}
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, merged)
+		}
+	}
+	iso := &Isotonic{}
+	for _, b := range blocks {
+		iso.xs = append(iso.xs, b.xMax)
+		iso.ys = append(iso.ys, b.sum/b.count)
+	}
+	return iso, nil
+}
+
+// Apply returns the calibrated probability for one output: the value of the
+// step whose breakpoint interval contains it.
+func (iso *Isotonic) Apply(prob float64) float64 {
+	i := sort.SearchFloat64s(iso.xs, prob)
+	if i >= len(iso.ys) {
+		i = len(iso.ys) - 1
+	}
+	return iso.ys[i]
+}
+
+// ApplyAll calibrates a batch.
+func (iso *Isotonic) ApplyAll(probs []float64) []float64 {
+	out := make([]float64, len(probs))
+	for i, q := range probs {
+		out[i] = iso.Apply(q)
+	}
+	return out
+}
+
+// ECE computes the expected calibration error over equal-width buckets: the
+// weighted mean absolute gap between bucket confidence and bucket accuracy.
+func ECE(probs []float64, labels []bool, buckets int) float64 {
+	if buckets <= 0 {
+		buckets = 10
+	}
+	sumP := make([]float64, buckets)
+	sumY := make([]float64, buckets)
+	counts := make([]float64, buckets)
+	for i, p := range probs {
+		b := int(p * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		sumP[b] += p
+		if labels[i] {
+			sumY[b]++
+		}
+		counts[b]++
+	}
+	n := float64(len(probs))
+	if n == 0 {
+		return 0
+	}
+	e := 0.0
+	for b := 0; b < buckets; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		e += counts[b] / n * math.Abs(sumP[b]/counts[b]-sumY[b]/counts[b])
+	}
+	return e
+}

@@ -1,0 +1,160 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/stats"
+)
+
+// skewedOutputs fabricates an overconfident classifier: true match rate at
+// output p is closer to 0.5 than p claims.
+func skewedOutputs(n int, seed uint64) (probs []float64, labels []bool) {
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		p := rng.Float64()
+		trueRate := 0.5 + (p-0.5)*0.6 // shrink towards 0.5
+		probs = append(probs, p)
+		labels = append(labels, rng.Float64() < trueRate)
+	}
+	return probs, labels
+}
+
+func TestPlattImprovesECE(t *testing.T) {
+	probs, labels := skewedOutputs(2000, 1)
+	p, err := FitPlatt(probs, labels, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ECE(probs, labels, 10)
+	after := ECE(p.ApplyAll(probs), labels, 10)
+	if after >= before {
+		t.Errorf("Platt did not improve calibration: ECE %f -> %f", before, after)
+	}
+	if !p.Monotone() {
+		t.Error("fitted Platt transform should be increasing on this data")
+	}
+}
+
+func TestPlattPreservesRanking(t *testing.T) {
+	// The paper's claim: calibration does not change the ranking order, so
+	// it cannot help risk *ranking*. AUROC of ambiguity scores computed
+	// from calibrated outputs must match the uncalibrated one exactly.
+	probs, labels := skewedOutputs(1500, 2)
+	p, err := FitPlatt(probs, labels, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibrated := p.ApplyAll(probs)
+	// AUROC of the outputs against the true labels is a pure ranking
+	// statistic; a strictly monotone transform cannot change it.
+	a1 := eval.AUROC(probs, labels)
+	a2 := eval.AUROC(calibrated, labels)
+	if math.Abs(a1-a2) > 1e-9 {
+		t.Errorf("monotone calibration changed ranking AUROC: %f vs %f", a1, a2)
+	}
+	// Pairwise order preserved outright.
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			if (probs[i] < probs[j]) != (calibrated[i] < calibrated[j]) && probs[i] != probs[j] {
+				t.Fatalf("order flipped at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPlattErrors(t *testing.T) {
+	if _, err := FitPlatt(nil, nil, 0, 0); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FitPlatt([]float64{0.5}, []bool{true, false}, 0, 0); err == nil {
+		t.Error("misaligned input should fail")
+	}
+	if _, err := FitPlatt([]float64{0.5, 0.6}, []bool{true, true}, 0, 0); err == nil {
+		t.Error("single-class labels should fail")
+	}
+}
+
+func TestIsotonicMonotoneAndCalibrating(t *testing.T) {
+	probs, labels := skewedOutputs(2000, 3)
+	iso, err := FitIsotonic(probs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output is a non-decreasing function of the input.
+	prev := -1.0
+	for _, x := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1} {
+		y := iso.Apply(x)
+		if y < prev-1e-12 {
+			t.Fatalf("isotonic output decreased at %f: %f < %f", x, y, prev)
+		}
+		if y < 0 || y > 1 {
+			t.Fatalf("isotonic output %f outside [0,1]", y)
+		}
+		prev = y
+	}
+	before := ECE(probs, labels, 10)
+	after := ECE(iso.ApplyAll(probs), labels, 10)
+	if after >= before {
+		t.Errorf("isotonic did not improve calibration: ECE %f -> %f", before, after)
+	}
+}
+
+func TestIsotonicPAVACorrectness(t *testing.T) {
+	// Hand-checkable case: outputs 0.1,0.2,0.3,0.4 with labels 0,1,0,1.
+	// PAVA pools the violating middle pair into 0.5.
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	labels := []bool{false, true, false, true}
+	iso, err := FitIsotonic(probs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := iso.Apply(0.1); got != 0 {
+		t.Errorf("Apply(0.1) = %f, want 0", got)
+	}
+	if got := iso.Apply(0.25); got != 0.5 {
+		t.Errorf("Apply(0.25) = %f, want 0.5", got)
+	}
+	if got := iso.Apply(0.4); got != 1 {
+		t.Errorf("Apply(0.4) = %f, want 1", got)
+	}
+	if got := iso.Apply(0.99); got != 1 {
+		t.Errorf("Apply(0.99) = %f, want 1 (clamp right)", got)
+	}
+}
+
+func TestIsotonicErrors(t *testing.T) {
+	if _, err := FitIsotonic(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FitIsotonic([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("misaligned input should fail")
+	}
+}
+
+func TestECE(t *testing.T) {
+	// Perfectly calibrated synthetic data: ECE near 0.
+	rng := stats.NewRNG(4)
+	var probs []float64
+	var labels []bool
+	for i := 0; i < 20000; i++ {
+		p := rng.Float64()
+		probs = append(probs, p)
+		labels = append(labels, rng.Float64() < p)
+	}
+	if e := ECE(probs, labels, 10); e > 0.02 {
+		t.Errorf("calibrated data ECE %f too high", e)
+	}
+	// Anti-calibrated: large ECE.
+	anti := make([]bool, len(probs))
+	for i := range probs {
+		anti[i] = rng.Float64() < 1-probs[i]
+	}
+	if e := ECE(probs, anti, 10); e < 0.2 {
+		t.Errorf("anti-calibrated ECE %f too low", e)
+	}
+	if ECE(nil, nil, 10) != 0 {
+		t.Error("empty ECE should be 0")
+	}
+}

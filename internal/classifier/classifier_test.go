@@ -1,0 +1,214 @@
+package classifier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// testWorkload caches a small generated workload and its split for all
+// tests in the package.
+var (
+	testW     *dataset.Workload
+	testCat   *metrics.Catalog
+	testSplit dataset.Split
+)
+
+func init() {
+	testW = datagen.MustGenerate(datagen.DS(99), 0.02)
+	testCat = testW.Left.Schema.Catalog(testW.Left, testW.Right)
+	sp, err := testW.SplitPairs("3:2:5", 99)
+	if err != nil {
+		panic(err)
+	}
+	testSplit = sp
+}
+
+func trainTestMatcher(t *testing.T) *Matcher {
+	t.Helper()
+	m, err := Train(testW, testCat, testSplit.Train, Config{Epochs: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFeatureVector(t *testing.T) {
+	v := FeatureVector(testW, testCat, 0)
+	if len(v) != len(testCat.Metrics) {
+		t.Fatalf("feature width %d, want %d", len(v), len(testCat.Metrics))
+	}
+	for j, x := range v {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			t.Errorf("feature %s = %f outside [0,1]", testCat.Metrics[j].Name, x)
+		}
+	}
+	m := FeatureMatrix(testW, testCat, []int{0, 1, 2})
+	if len(m) != 3 {
+		t.Fatalf("FeatureMatrix rows = %d", len(m))
+	}
+}
+
+func TestTrainedMatcherBeatsChance(t *testing.T) {
+	m := trainTestMatcher(t)
+	l := m.Label(testW, testSplit.Test)
+	acc := l.Accuracy()
+	if acc < 0.72 {
+		t.Errorf("test accuracy %.3f < 0.72; the substitute classifier is too weak", acc)
+	}
+	if l.MislabelCount() == 0 {
+		t.Error("classifier is perfect; risk analysis needs mislabels — increase dirtiness")
+	}
+	if f1 := l.F1(); f1 <= 0 || f1 > 1 {
+		t.Errorf("F1 = %f out of range", f1)
+	}
+}
+
+func TestLabeledInvariants(t *testing.T) {
+	m := trainTestMatcher(t)
+	l := m.Label(testW, testSplit.Valid)
+	if len(l.Idx) != len(testSplit.Valid) {
+		t.Fatal("Label dropped pairs")
+	}
+	for k := range l.Idx {
+		if l.Label[k] != (l.Prob[k] >= 0.5) {
+			t.Fatal("Label inconsistent with Prob")
+		}
+		if l.Truth[k] != testW.Pairs[l.Idx[k]].Match {
+			t.Fatal("Truth inconsistent with workload")
+		}
+		if l.Mislabeled(k) != (l.Label[k] != l.Truth[k]) {
+			t.Fatal("Mislabeled inconsistent")
+		}
+	}
+	if got := l.Accuracy() + float64(l.MislabelCount())/float64(len(l.Idx)); math.Abs(got-1) > 1e-12 {
+		t.Error("Accuracy + mislabel rate != 1")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(testW, testCat, nil, Config{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	// Single-class training set.
+	var negOnly []int
+	for _, i := range testSplit.Train {
+		if !testW.Pairs[i].Match {
+			negOnly = append(negOnly, i)
+		}
+		if len(negOnly) == 20 {
+			break
+		}
+	}
+	if _, err := Train(testW, testCat, negOnly, Config{}); err == nil {
+		t.Error("single-class training set should fail")
+	}
+}
+
+func TestMatcherDeterminism(t *testing.T) {
+	a, err := Train(testW, testCat, testSplit.Train[:60], Config{Epochs: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(testW, testCat, testSplit.Train[:60], Config{Epochs: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a.Prob(testW, i) != b.Prob(testW, i) {
+			t.Fatal("same seed, different matcher")
+		}
+	}
+}
+
+func TestHiddenRepresentation(t *testing.T) {
+	m := trainTestMatcher(t)
+	h := m.Hidden(testW, 0)
+	if len(h) == 0 {
+		t.Fatal("empty hidden representation")
+	}
+	for _, v := range h {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in hidden representation")
+		}
+	}
+	if m.Catalog() != testCat {
+		t.Error("Catalog accessor mismatch")
+	}
+}
+
+func TestEnsemble(t *testing.T) {
+	e, err := TrainEnsemble(testW, testCat, testSplit.Train[:100], 5, Config{Epochs: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() == 0 {
+		t.Fatal("no members")
+	}
+	distinct := map[float64]bool{}
+	for _, i := range testSplit.Test[:50] {
+		p := e.VoteProb(testW, i)
+		if p < 0 || p > 1 {
+			t.Fatalf("VoteProb = %f", p)
+		}
+		// Vote probabilities are quantized to multiples of 1/size.
+		q := p * float64(e.Size())
+		if math.Abs(q-math.Round(q)) > 1e-9 {
+			t.Fatalf("VoteProb %f not a multiple of 1/%d", p, e.Size())
+		}
+		distinct[p] = true
+	}
+	if len(distinct) > e.Size()+1 {
+		t.Errorf("more distinct vote probs (%d) than members+1", len(distinct))
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	c := Calibration{Buckets: 10}
+	if c.Bucket(0) != 0 || c.Bucket(0.999) != 9 || c.Bucket(1) != 9 {
+		t.Error("bucket boundaries wrong")
+	}
+	if c.Bucket(-0.1) != 0 {
+		t.Error("negative prob should clamp to bucket 0")
+	}
+	if (Calibration{}).Bucket(0.7) != 0 {
+		t.Error("zero-bucket calibration should map everything to 0")
+	}
+
+	m := trainTestMatcher(t)
+	l := m.Label(testW, testSplit.Valid)
+	rates, counts := c.MatchRates(l)
+	if len(rates) != 10 || len(counts) != 10 {
+		t.Fatal("wrong bucket count")
+	}
+	total := 0
+	for b, r := range rates {
+		if r <= 0 || r >= 1 {
+			t.Errorf("bucket %d rate %f not smoothed into (0,1)", b, r)
+		}
+		total += counts[b]
+	}
+	if total != len(l.Idx) {
+		t.Errorf("bucket counts sum %d, want %d", total, len(l.Idx))
+	}
+	// Calibration sanity: high buckets should have a higher match rate
+	// than low buckets for a working classifier.
+	if rates[9] <= rates[0] {
+		t.Errorf("rate[9]=%f should exceed rate[0]=%f", rates[9], rates[0])
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy(0) != 0 || Entropy(1) != 0 {
+		t.Error("entropy at certainty should be 0")
+	}
+	if math.Abs(Entropy(0.5)-math.Ln2) > 1e-12 {
+		t.Errorf("Entropy(0.5) = %f, want ln 2", Entropy(0.5))
+	}
+	if Entropy(0.3) != Entropy(0.7) {
+		t.Error("entropy should be symmetric")
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"repro/internal/classifier"
+	"repro/internal/rules"
+)
+
+// BuildFeatures pairs generated rules with their prior expectations from
+// classifier-training-data statistics (Laplace-smoothed match rates) to
+// form the model's risk features.
+func BuildFeatures(rs []rules.Rule, sts []rules.Stat) []Feature {
+	feats := make([]Feature, len(rs))
+	for i := range rs {
+		feats[i] = Feature{Rule: rs[i], Mu: sts[i].MatchRate}
+	}
+	return feats
+}
+
+// BuildInstances converts a machine labeling plus the per-pair rule firing
+// sets into risk-model instances and, where ground truth is known, the
+// mislabel flags used for training and evaluation.
+func BuildInstances(fired [][]int, l classifier.Labeled) (insts []Instance, mislabeled []bool) {
+	insts = make([]Instance, len(l.Idx))
+	mislabeled = make([]bool, len(l.Idx))
+	for k := range l.Idx {
+		insts[k] = Instance{Fired: fired[k], Prob: l.Prob[k], Label: l.Label[k]}
+		mislabeled[k] = l.Mislabeled(k)
+	}
+	return insts, mislabeled
+}

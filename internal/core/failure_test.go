@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// Failure-injection tests: the risk model sits downstream of user-supplied
+// classifiers and metrics, so it must stay finite and ranked under hostile
+// inputs.
+
+func TestAssessWithExtremeClassifierOutputs(t *testing.T) {
+	m, _ := New(mkFeatures(), Config{})
+	for _, p := range []float64{0, 1, 1e-300, 1 - 1e-16} {
+		for _, label := range []bool{true, false} {
+			a := m.Assess(Instance{Prob: p, Label: label})
+			if math.IsNaN(a.Risk) || a.Risk < 0 || a.Risk > 1 {
+				t.Errorf("p=%g label=%v: risk %v", p, label, a.Risk)
+			}
+		}
+	}
+}
+
+func TestAssessWithOutOfRangeFiredIndexPanics(t *testing.T) {
+	// Out-of-range feature indices are a programming error on the caller's
+	// side; the contract is a panic, not silent misbehaviour.
+	m, _ := New(mkFeatures(), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range feature index")
+		}
+	}()
+	m.Assess(Instance{Fired: []int{99}, Prob: 0.5})
+}
+
+func TestFitWithDegenerateDistributions(t *testing.T) {
+	// Every instance identical: gradients of the pairwise loss cancel; the
+	// model must survive and keep producing valid risks.
+	m, _ := New(mkFeatures(), Config{Epochs: 30, Seed: 2})
+	insts := make([]Instance, 20)
+	bad := make([]bool, 20)
+	for i := range insts {
+		insts[i] = Instance{Fired: []int{0}, Prob: 0.5, Label: true}
+		bad[i] = i%2 == 0
+	}
+	if err := m.Fit(insts, bad); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Risk(insts[0])
+	if math.IsNaN(r) || r < 0 || r > 1 {
+		t.Errorf("risk after degenerate training: %v", r)
+	}
+}
+
+func TestFitWithSingleMislabelAndManyCorrect(t *testing.T) {
+	m, _ := New(mkFeatures(), Config{Epochs: 50, Seed: 3})
+	insts, _ := syntheticRiskData(100, 9)
+	bad := make([]bool, len(insts))
+	bad[7] = true
+	if err := m.Fit(insts, bad); err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range insts {
+		if r := m.Risk(inst); math.IsNaN(r) {
+			t.Fatal("NaN risk after skewed training")
+		}
+	}
+}
+
+func TestExtremeFeatureExpectations(t *testing.T) {
+	// Expectations hugging the (0,1) boundary (the tightest Laplace
+	// smoothing can produce) must not destabilize scoring or training.
+	feats := []Feature{{Mu: 1e-9}, {Mu: 1 - 1e-9}}
+	m, err := New(feats, Config{Epochs: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := []Instance{
+		{Fired: []int{0, 1}, Prob: 0.5, Label: true},
+		{Fired: []int{0}, Prob: 0.2, Label: false},
+		{Fired: []int{1}, Prob: 0.8, Label: true},
+	}
+	bad := []bool{true, false, false}
+	if err := m.Fit(insts, bad); err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range insts {
+		r := m.Risk(inst)
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			t.Errorf("risk %v under extreme expectations", r)
+		}
+	}
+}
+
+func TestManyDuplicateFeaturesStayStable(t *testing.T) {
+	// A pathological rule generator may emit hundreds of near-identical
+	// features; the normalized portfolio must stay bounded.
+	feats := make([]Feature, 500)
+	fired := make([]int, 500)
+	for j := range feats {
+		feats[j] = Feature{Mu: 0.01}
+		fired[j] = j
+	}
+	m, _ := New(feats, Config{})
+	a := m.Assess(Instance{Fired: fired, Prob: 0.99, Label: true})
+	if a.Mu < 0 || a.Mu > 1 || a.Risk < 0 || a.Risk > 1 {
+		t.Errorf("assessment out of range under 500 features: %+v", a)
+	}
+	// Mass of evidence says unmatching; the matching label must look very
+	// risky.
+	if a.Risk < 0.9 {
+		t.Errorf("risk %f too low under overwhelming contrary evidence", a.Risk)
+	}
+}

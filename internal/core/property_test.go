@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// randInstance maps arbitrary quick-generated values into a valid instance
+// over nFeatures features.
+func randInstance(seed uint64, nFeatures int) Instance {
+	rng := stats.NewRNG(seed)
+	var fired []int
+	for j := 0; j < nFeatures; j++ {
+		if rng.Float64() < 0.4 {
+			fired = append(fired, j)
+		}
+	}
+	p := rng.Float64()
+	return Instance{Fired: fired, Prob: p, Label: p >= 0.5}
+}
+
+func randModel(seed uint64) *Model {
+	rng := stats.NewRNG(seed)
+	n := 1 + rng.Intn(6)
+	feats := make([]Feature, n)
+	for j := range feats {
+		feats[j] = Feature{Mu: 0.01 + 0.98*rng.Float64()}
+	}
+	m, err := New(feats, Config{
+		InitWeight: 0.1 + 3*rng.Float64(),
+		InitRSD:    0.05 + rng.Float64(),
+		Theta:      0.85 + 0.1*rng.Float64(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestPropertyRiskAlwaysValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randModel(seed)
+		for k := uint64(0); k < 20; k++ {
+			inst := randInstance(seed+k, m.NumFeatures())
+			a := m.Assess(inst)
+			if math.IsNaN(a.Risk) || a.Risk < 0 || a.Risk > 1 {
+				return false
+			}
+			if math.IsNaN(a.Mu) || a.Mu < 0 || a.Mu > 1 {
+				return false
+			}
+			if a.Sigma < 0 || math.IsNaN(a.Sigma) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExplanationSharesSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randModel(seed)
+		inst := randInstance(seed, m.NumFeatures())
+		total := 0.0
+		for _, c := range m.Explain(inst) {
+			if c.Share < 0 || c.Share > 1 {
+				return false
+			}
+			total += c.Share
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMuIsConvexCombination(t *testing.T) {
+	// The fused expectation must lie within the span of the contributing
+	// feature expectations and the classifier output.
+	f := func(seed uint64) bool {
+		m := randModel(seed)
+		inst := randInstance(seed^0xABCD, m.NumFeatures())
+		lo, hi := inst.Prob, inst.Prob
+		for _, j := range inst.Fired {
+			mu := m.Feature(j).Mu
+			if mu < lo {
+				lo = mu
+			}
+			if mu > hi {
+				hi = mu
+			}
+		}
+		a := m.Assess(inst)
+		return a.Mu >= lo-1e-9 && a.Mu <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRiskMonotoneInTheta(t *testing.T) {
+	// For unmatching labels the VaR quantile grows with theta.
+	f := func(seed uint64) bool {
+		feats := []Feature{{Mu: 0.5}}
+		lowTheta, _ := New(feats, Config{Theta: 0.8})
+		highTheta, _ := New(feats, Config{Theta: 0.95})
+		inst := randInstance(seed, 1)
+		inst.Label = false
+		return highTheta.Risk(inst) >= lowTheta.Risk(inst)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConflictRaisesRisk(t *testing.T) {
+	// Adding an unmatching rule (low mu) to a pair labeled matching never
+	// lowers its risk; adding a matching rule (high mu) never raises it.
+	feats := []Feature{{Mu: 0.02}, {Mu: 0.97}}
+	m, _ := New(feats, Config{})
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		p := 0.5 + 0.49*rng.Float64() // labeled matching
+		bare := Instance{Prob: p, Label: true}
+		conflicted := Instance{Fired: []int{0}, Prob: p, Label: true}
+		supported := Instance{Fired: []int{1}, Prob: p, Label: true}
+		if m.Risk(conflicted) < m.Risk(bare)-1e-9 {
+			return false
+		}
+		return m.Risk(supported) <= m.Risk(bare)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFitNeverProducesNaN(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randModel(seed)
+		insts := make([]Instance, 40)
+		bad := make([]bool, 40)
+		rng := stats.NewRNG(seed ^ 0x1234)
+		for i := range insts {
+			insts[i] = randInstance(seed+uint64(i)*31, m.NumFeatures())
+			bad[i] = rng.Float64() < 0.3
+		}
+		// Ensure both classes exist.
+		bad[0], bad[1] = true, false
+		m.cfg.Epochs = 30
+		if err := m.Fit(insts, bad); err != nil {
+			return false
+		}
+		for _, inst := range insts {
+			r := m.Risk(inst)
+			if math.IsNaN(r) || r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

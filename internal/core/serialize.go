@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/rules"
+)
+
+// modelJSON is the on-disk form of a trained risk model. Raw (softplus
+// space) parameters are stored so a round trip is bit-exact.
+type modelJSON struct {
+	Version  int           `json:"version"`
+	Config   Config        `json:"config"`
+	Features []featureJSON `json:"features"`
+	Rho      []float64     `json:"rho"`
+	RSDRaw   []float64     `json:"rsd_raw"`
+	AlphaR   float64       `json:"alpha_raw"`
+	BetaR    float64       `json:"beta_raw"`
+	BucketR  []float64     `json:"bucket_raw"`
+}
+
+type featureJSON struct {
+	Rule rules.Rule `json:"rule"`
+	Mu   float64    `json:"mu"`
+}
+
+const serializationVersion = 1
+
+// Save writes the model (features, priors and learned parameters) as JSON.
+func (m *Model) Save(w io.Writer) error {
+	out := modelJSON{
+		Version:  serializationVersion,
+		Config:   m.cfg,
+		Features: make([]featureJSON, len(m.features)),
+		Rho:      m.rho,
+		RSDRaw:   m.rsdRaw,
+		AlphaR:   m.alphaR,
+		BetaR:    m.betaR,
+		BucketR:  m.bucketR,
+	}
+	for i, f := range m.features {
+		out.Features[i] = featureJSON{Rule: f.Rule, Mu: f.Mu}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a model written by Save. The loaded model scores identically
+// to the saved one and can be trained further.
+func Load(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if in.Version != serializationVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", in.Version)
+	}
+	feats := make([]Feature, len(in.Features))
+	for i, f := range in.Features {
+		feats[i] = Feature{Rule: f.Rule, Mu: f.Mu}
+	}
+	m, err := New(feats, in.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.Rho) != len(m.rho) || len(in.RSDRaw) != len(m.rsdRaw) || len(in.BucketR) != len(m.bucketR) {
+		return nil, fmt.Errorf("core: parameter arity mismatch in saved model")
+	}
+	copy(m.rho, in.Rho)
+	copy(m.rsdRaw, in.RSDRaw)
+	m.alphaR = in.AlphaR
+	m.betaR = in.BetaR
+	copy(m.bucketR, in.BucketR)
+	return m, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, _ := New(mkFeatures(), Config{Epochs: 60, Seed: 4})
+	insts, bad := syntheticRiskData(200, 6)
+	if err := m.Fit(insts, bad); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-exact scoring after the round trip.
+	for i, inst := range insts {
+		if got, want := loaded.Risk(inst), m.Risk(inst); got != want {
+			t.Fatalf("instance %d: loaded risk %v != original %v", i, got, want)
+		}
+	}
+	// Parameters survive.
+	if loaded.Weight(0) != m.Weight(0) || loaded.RSD(1) != m.RSD(1) {
+		t.Error("learned parameters did not round trip")
+	}
+	la, lb := loaded.InfluenceParams()
+	oa, ob := m.InfluenceParams()
+	if la != oa || lb != ob {
+		t.Error("influence parameters did not round trip")
+	}
+	// Loaded models can continue training.
+	if err := loaded.Fit(insts, bad); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	// Arity mismatch: one feature, two rho entries.
+	bad := `{"version":1,"config":{},"features":[{"rule":{"Predicates":null,"Match":false,"Support":1,"Purity":1},"mu":0.5}],"rho":[0,0],"rsd_raw":[0],"bucket_raw":[]}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Invalid feature expectation.
+	badMu := `{"version":1,"config":{},"features":[{"rule":{"Predicates":null,"Match":false,"Support":1,"Purity":1},"mu":0}],"rho":[0],"rsd_raw":[0],"bucket_raw":[]}`
+	if _, err := Load(strings.NewReader(badMu)); err == nil {
+		t.Error("invalid mu should fail")
+	}
+}
+
+func TestSaveIsHumanReadable(t *testing.T) {
+	m, _ := New(mkFeatures(), Config{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"version"`, `"features"`, `"rho"`, "year.num_diff"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized model missing %q", want)
+		}
+	}
+}

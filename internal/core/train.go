@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Fit tunes the model's learnable parameters — rule weights, rule RSDs, the
+// influence-function shape (alpha, beta) and the per-bucket classifier RSDs
+// — to rank mislabeled instances above correct ones (Section 6.2). The loss
+// is the pairwise cross-entropy of Eq. 15 over sampled (mislabeled,
+// correct) instance pairs, with the posterior of Eq. 13; gradients are
+// analytic (chain rule through the portfolio aggregation and the smooth VaR
+// surrogate) and applied with Adam. L1+L2 regularization is added on the
+// rule weights (Section 6.2.3).
+func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
+	if len(insts) != len(mislabeled) {
+		return errMismatch(len(insts), len(mislabeled))
+	}
+	var misIdx, corIdx []int
+	for i, bad := range mislabeled {
+		if bad {
+			misIdx = append(misIdx, i)
+		} else {
+			corIdx = append(corIdx, i)
+		}
+	}
+	if len(misIdx) == 0 || len(corIdx) == 0 {
+		return ErrNoTrainingSignal
+	}
+
+	opt := newAdam(m.paramCount(), m.cfg.LR)
+	rng := stats.NewRNG(m.cfg.Seed)
+	grads := make([]float64, m.paramCount())
+	gammas := make([]float64, len(insts))
+	coef := make([]float64, len(insts))
+
+	allPairs := len(misIdx) * len(corIdx)
+	sample := m.cfg.PairSample
+	if sample > allPairs {
+		sample = allPairs
+	}
+
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		// Forward: surrogate VaR for every instance.
+		for i, inst := range insts {
+			gammas[i] = m.surrogate(m.fuse(inst), inst.Label)
+		}
+		// Pairwise loss coefficients dL/dgamma_i accumulated per instance.
+		for i := range coef {
+			coef[i] = 0
+		}
+		if allPairs == sample {
+			for _, mi := range misIdx {
+				for _, ci := range corIdx {
+					s := stats.Sigmoid(gammas[mi] - gammas[ci])
+					coef[mi] += s - 1 // p̄ = 1 for (mislabeled, correct)
+					coef[ci] += 1 - s
+				}
+			}
+		} else {
+			for k := 0; k < sample; k++ {
+				mi := misIdx[rng.Intn(len(misIdx))]
+				ci := corIdx[rng.Intn(len(corIdx))]
+				s := stats.Sigmoid(gammas[mi] - gammas[ci])
+				coef[mi] += s - 1
+				coef[ci] += 1 - s
+			}
+		}
+		scale := 1 / float64(sample)
+
+		// Backward: one backprop per instance with nonzero coefficient.
+		for i := range grads {
+			grads[i] = 0
+		}
+		for i, inst := range insts {
+			if coef[i] != 0 {
+				m.backprop(inst, coef[i]*scale, grads)
+			}
+		}
+		m.addRegGrads(grads)
+		m.applyStep(opt, grads)
+	}
+	return nil
+}
+
+// Loss returns the current mean pairwise cross-entropy over all
+// (mislabeled, correct) pairs — the quantity Fit minimizes (Eq. 15).
+func (m *Model) Loss(insts []Instance, mislabeled []bool) float64 {
+	var misIdx, corIdx []int
+	for i, bad := range mislabeled {
+		if bad {
+			misIdx = append(misIdx, i)
+		} else {
+			corIdx = append(corIdx, i)
+		}
+	}
+	if len(misIdx) == 0 || len(corIdx) == 0 {
+		return 0
+	}
+	gammas := make([]float64, len(insts))
+	for i, inst := range insts {
+		gammas[i] = m.surrogate(m.fuse(inst), inst.Label)
+	}
+	sum := 0.0
+	for _, mi := range misIdx {
+		for _, ci := range corIdx {
+			s := stats.Sigmoid(gammas[mi] - gammas[ci])
+			if s < 1e-15 {
+				s = 1e-15
+			}
+			sum += -math.Log(s) // p̄ = 1
+		}
+	}
+	return sum / float64(len(misIdx)*len(corIdx))
+}
+
+// Parameter layout in the flat gradient/optimizer vector:
+// [rho_0..rho_{F-1}, rsdRaw_0..rsdRaw_{F-1}, alphaR, betaR, bucketR_0..].
+func (m *Model) paramCount() int { return 2*len(m.features) + 2 + len(m.bucketR) }
+
+func (m *Model) applyStep(opt *adam, grads []float64) {
+	F := len(m.features)
+	opt.step(grads)
+	for j := 0; j < F; j++ {
+		m.rho[j] -= opt.delta(j)
+		m.rsdRaw[j] -= opt.delta(F + j)
+	}
+	m.alphaR -= opt.delta(2 * F)
+	m.betaR -= opt.delta(2*F + 1)
+	for b := range m.bucketR {
+		m.bucketR[b] -= opt.delta(2*F + 2 + b)
+	}
+}
+
+// backprop accumulates d(coef*gamma)/dparam into grads for one instance.
+// See DESIGN.md "Risk-model math as implemented" for the derivation.
+func (m *Model) backprop(inst Instance, coef float64, grads []float64) {
+	f := m.fuse(inst)
+	F := len(m.features)
+
+	sgnMu := 1.0
+	if inst.Label {
+		sgnMu = -1 // gamma = (1-mu) + z*sigma
+	}
+	sigma := f.sigma
+	if sigma < 1e-9 {
+		sigma = 1e-9
+	}
+	dGdMu := coef * sgnMu
+	dGdV := coef * m.z / (2 * sigma) // via dsigma/dV = 1/(2 sigma)
+	if m.cfg.NoVariance {
+		dGdV = 0 // sigma is pinned to zero; no gradient flows through it
+	}
+
+	// Rule features.
+	for _, j := range inst.Fired {
+		w := stats.Softplus(m.rho[j])
+		muJ := m.features[j].Mu
+		rsdJ := stats.Softplus(m.rsdRaw[j])
+		sigJ := rsdJ * muJ
+
+		dMudW := (muJ - f.mu) / f.S
+		dVdW := (2*w*sigJ*sigJ)/(f.S*f.S) - 2*f.vr/f.S
+		dW := dGdMu*dMudW + dGdV*dVdW
+		grads[j] += dW * stats.SoftplusGrad(m.rho[j])
+
+		dVdSigJ := 2 * w * w * sigJ / (f.S * f.S)
+		dRSD := dGdV * dVdSigJ * muJ
+		grads[F+j] += dRSD * stats.SoftplusGrad(m.rsdRaw[j])
+	}
+
+	// Classifier-output feature: weight wc = beta + 1 - E with
+	// E = exp(-d^2/(2 alpha^2)), expectation p, sigma = bucketRSD * p.
+	p := inst.Prob
+	dMudWc := (p - f.mu) / f.S
+	dVdWc := (2*f.wc*f.sigC*f.sigC)/(f.S*f.S) - 2*f.vr/f.S
+	dWc := dGdMu*dMudWc + dGdV*dVdWc
+
+	alpha, _ := m.InfluenceParams()
+	d := p - 0.5
+	E := math.Exp(-d * d / (2 * alpha * alpha))
+	dWcdAlpha := -E * d * d / (alpha * alpha * alpha)
+	grads[2*F] += dWc * dWcdAlpha * stats.SoftplusGrad(m.alphaR)
+	grads[2*F+1] += dWc * stats.SoftplusGrad(m.betaR) // dwc/dbeta = 1
+
+	dVdSigC := 2 * f.wc * f.wc * f.sigC / (f.S * f.S)
+	dBucket := dGdV * dVdSigC * p
+	grads[2*F+2+f.bucket] += dBucket * stats.SoftplusGrad(m.bucketR[f.bucket])
+}
+
+// addRegGrads adds the L1+L2 penalty gradients on the rule weights.
+func (m *Model) addRegGrads(grads []float64) {
+	for j := range m.rho {
+		w := stats.Softplus(m.rho[j])
+		g := m.cfg.L1 + 2*m.cfg.L2*w // d/dw (L1*w + L2*w^2); w > 0 so |w| = w
+		grads[j] += g * stats.SoftplusGrad(m.rho[j])
+	}
+}
+
+// adam is a minimal Adam optimizer over a flat parameter vector; step
+// computes the per-parameter deltas which the model then applies to its
+// structured parameters.
+type adam struct {
+	lr      float64
+	t       int
+	mv, vv  []float64
+	deltas  []float64
+	b1, b2  float64
+	epsilon float64
+}
+
+func newAdam(n int, lr float64) *adam {
+	return &adam{
+		lr: lr, mv: make([]float64, n), vv: make([]float64, n),
+		deltas: make([]float64, n), b1: 0.9, b2: 0.999, epsilon: 1e-8,
+	}
+}
+
+func (a *adam) step(grads []float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.b1, float64(a.t))
+	c2 := 1 - math.Pow(a.b2, float64(a.t))
+	for i, g := range grads {
+		a.mv[i] = a.b1*a.mv[i] + (1-a.b1)*g
+		a.vv[i] = a.b2*a.vv[i] + (1-a.b2)*g*g
+		a.deltas[i] = a.lr * (a.mv[i] / c1) / (math.Sqrt(a.vv[i]/c2) + a.epsilon)
+	}
+}
+
+func (a *adam) delta(i int) float64 { return a.deltas[i] }
+
+func errMismatch(a, b int) error {
+	return fmt.Errorf("core: %d instances vs %d labels", a, b)
+}

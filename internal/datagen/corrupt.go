@@ -1,0 +1,176 @@
+package datagen
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Corruptor applies the record-level dirtiness that the real benchmark
+// datasets exhibit: token drops, typos, reordering, value truncation and
+// missing values. Intensity (0..1) scales all corruption probabilities; a
+// value around 0.3 yields AB-like dirtiness, 0.15 DA-like cleanliness.
+type Corruptor struct {
+	Intensity float64
+	rng       *stats.RNG
+}
+
+// NewCorruptor returns a corruptor with the given intensity drawing
+// randomness from rng.
+func NewCorruptor(intensity float64, rng *stats.RNG) *Corruptor {
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	return &Corruptor{Intensity: intensity, rng: rng}
+}
+
+func (c *Corruptor) hit(base float64) bool {
+	return c.rng.Float64() < base*c.Intensity
+}
+
+// Typo introduces up to one character-level error (swap, drop or duplicate)
+// with probability proportional to the intensity.
+func (c *Corruptor) Typo(s string) string {
+	if !c.hit(0.8) || len(s) < 3 {
+		return s
+	}
+	r := []rune(s)
+	i := 1 + c.rng.Intn(len(r)-2)
+	switch c.rng.Intn(3) {
+	case 0: // swap adjacent
+		r[i], r[i-1] = r[i-1], r[i]
+		return string(r)
+	case 1: // drop
+		return string(append(r[:i:i], r[i+1:]...))
+	default: // duplicate
+		out := make([]rune, 0, len(r)+1)
+		out = append(out, r[:i]...)
+		out = append(out, r[i])
+		out = append(out, r[i:]...)
+		return string(out)
+	}
+}
+
+// DropTokens removes up to one token from a multi-token value.
+func (c *Corruptor) DropTokens(s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 3 || !c.hit(0.7) {
+		return s
+	}
+	i := c.rng.Intn(len(toks))
+	return strings.Join(append(toks[:i:i], toks[i+1:]...), " ")
+}
+
+// Truncate keeps only a prefix of the tokens (models Scholar-style cut-off
+// titles and Buy-style shortened product names).
+func (c *Corruptor) Truncate(s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 4 || !c.hit(0.35) {
+		return s
+	}
+	keep := 2 + c.rng.Intn(len(toks)-2)
+	return strings.Join(toks[:keep], " ")
+}
+
+// Missing blanks the value entirely with a low probability.
+func (c *Corruptor) Missing(s string) string {
+	if c.hit(0.25) {
+		return ""
+	}
+	return s
+}
+
+// Reorder shuffles the order of the comma-separated elements of an
+// entity-set value (author lists are frequently reordered between sources).
+func (c *Corruptor) Reorder(s string) string {
+	parts := strings.Split(s, ", ")
+	if len(parts) < 2 || !c.hit(0.8) {
+		return s
+	}
+	c.rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	return strings.Join(parts, ", ")
+}
+
+// DropEntity removes one element from an entity-set value (Scholar often
+// misses an author).
+func (c *Corruptor) DropEntity(s string) string {
+	parts := strings.Split(s, ", ")
+	if len(parts) < 3 || !c.hit(0.45) {
+		return s
+	}
+	i := c.rng.Intn(len(parts))
+	return strings.Join(append(parts[:i:i], parts[i+1:]...), ", ")
+}
+
+// Initialize replaces full first names by initials in an entity-set value
+// ("thomas brinkhoff" → "t brinkhoff").
+func (c *Corruptor) Initialize(s string) string {
+	if !c.hit(0.9) {
+		return s
+	}
+	parts := strings.Split(s, ", ")
+	for i, p := range parts {
+		toks := strings.Fields(p)
+		if len(toks) == 2 && len(toks[0]) > 1 {
+			parts[i] = toks[0][:1] + " " + toks[1]
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Abbreviate swaps a venue-style value between its full and abbreviated
+// forms when the full form is known to the vocabulary.
+func (c *Corruptor) Abbreviate(s string) string {
+	if !c.hit(0.85) {
+		return s
+	}
+	for _, v := range venues {
+		if s == v[0] {
+			return v[1]
+		}
+		if s == v[1] {
+			return v[0]
+		}
+	}
+	return s
+}
+
+// PriceNoise perturbs a numeric string by a small relative amount and
+// occasionally reformats it with a currency prefix.
+func (c *Corruptor) PriceNoise(s string) string {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return s
+	}
+	changed := false
+	if c.hit(0.8) {
+		f *= 1 + (c.rng.Float64()-0.5)*0.04 // ±2% list-price variation
+		changed = true
+	}
+	prefix := ""
+	if c.hit(0.4) {
+		prefix = "$"
+		changed = true
+	}
+	if !changed {
+		return s
+	}
+	return prefix + strconv.FormatFloat(f, 'f', 2, 64)
+}
+
+// YearOffByOne shifts a year value by ±1 with low probability (electronic
+// vs print publication years differ between DBLP and Scholar).
+func (c *Corruptor) YearOffByOne(s string) string {
+	y, err := strconv.Atoi(s)
+	if err != nil || !c.hit(0.15) {
+		return s
+	}
+	if c.rng.Intn(2) == 0 {
+		return strconv.Itoa(y - 1)
+	}
+	return strconv.Itoa(y + 1)
+}

@@ -1,0 +1,278 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestGenerateAllProfiles(t *testing.T) {
+	for _, name := range Names() {
+		spec, ok := ByName(name, 42)
+		if !ok {
+			t.Fatalf("unknown profile %s", name)
+		}
+		w, err := Generate(spec, 0.02)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: invalid workload: %v", name, err)
+		}
+		st := w.Stats()
+		if st.Matches == 0 || st.Matches >= st.Size {
+			t.Errorf("%s: degenerate stats %+v", name, st)
+		}
+		wantAttrs := len(spec.Domain.Schema().Attrs)
+		if st.Attributes != wantAttrs {
+			t.Errorf("%s: attributes = %d, want %d", name, st.Attributes, wantAttrs)
+		}
+	}
+}
+
+func TestGenerateMatchRatioTracksSpec(t *testing.T) {
+	spec := DS(1)
+	w := MustGenerate(spec, 0.05)
+	gotRatio := float64(w.MatchCount()) / float64(len(w.Pairs))
+	wantRatio := float64(spec.Matches) / float64(spec.Pairs)
+	if gotRatio < wantRatio*0.7 || gotRatio > wantRatio*1.3 {
+		t.Errorf("match ratio %.3f deviates from spec %.3f", gotRatio, wantRatio)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(DS(7), 0.01)
+	b := MustGenerate(DS(7), 0.01)
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatal("same seed, different pair counts")
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("same seed, different pairs")
+		}
+	}
+	av, _ := a.Values(0)
+	bv, _ := b.Values(0)
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("same seed, different record values")
+		}
+	}
+	c := MustGenerate(DS(8), 0.01)
+	cv, _ := c.Values(0)
+	if strings.Join(av, "|") == strings.Join(cv, "|") {
+		t.Error("different seeds produced identical first record")
+	}
+}
+
+func TestGroundTruthConsistentWithEntityIDs(t *testing.T) {
+	w := MustGenerate(AG(3), 0.05)
+	for i, p := range w.Pairs {
+		le := w.Left.Records[p.Left].EntityID
+		re := w.Right.Records[p.Right].EntityID
+		if p.Match && le != re {
+			t.Fatalf("pair %d marked match but entities %s vs %s", i, le, re)
+		}
+		if !p.Match && le == re {
+			t.Fatalf("pair %d marked non-match but same entity %s", i, le)
+		}
+	}
+}
+
+func TestMatchesAreSimilarNonMatchesLess(t *testing.T) {
+	// Sanity: on average, matched pairs should share more title tokens than
+	// random non-matches, otherwise the workload is unlearnable.
+	w := MustGenerate(DS(11), 0.03)
+	shared := func(a, b string) float64 {
+		sa := strings.Fields(a)
+		sb := map[string]bool{}
+		for _, tk := range strings.Fields(b) {
+			sb[tk] = true
+		}
+		n := 0
+		for _, tk := range sa {
+			if sb[tk] {
+				n++
+			}
+		}
+		if len(sa) == 0 {
+			return 0
+		}
+		return float64(n) / float64(len(sa))
+	}
+	var matchSim, nonSim float64
+	var nm, nn int
+	for i, p := range w.Pairs {
+		a, b := w.Values(i)
+		s := shared(a[0], b[0])
+		if p.Match {
+			matchSim += s
+			nm++
+		} else {
+			nonSim += s
+			nn++
+		}
+	}
+	if nm == 0 || nn == 0 {
+		t.Fatal("degenerate workload")
+	}
+	if matchSim/float64(nm) <= nonSim/float64(nn) {
+		t.Errorf("matches (%.3f) not more similar than non-matches (%.3f)",
+			matchSim/float64(nm), nonSim/float64(nn))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(DS(1), 0); err == nil {
+		t.Error("zero scale should fail")
+	}
+	if _, err := Generate(DS(1), -1); err == nil {
+		t.Error("negative scale should fail")
+	}
+	if _, ok := ByName("NOPE", 1); ok {
+		t.Error("unknown profile should not resolve")
+	}
+}
+
+func TestCorruptorOperations(t *testing.T) {
+	rng := stats.NewRNG(5)
+	c := NewCorruptor(1.0, rng)
+
+	sawTypo := false
+	for i := 0; i < 50 && !sawTypo; i++ {
+		if c.Typo("identical") != "identical" {
+			sawTypo = true
+		}
+	}
+	if !sawTypo {
+		t.Error("full-intensity Typo never fired")
+	}
+
+	if got := c.DropTokens("ab"); got != "ab" {
+		t.Errorf("DropTokens on short value changed it: %q", got)
+	}
+	sawDrop := false
+	for i := 0; i < 50 && !sawDrop; i++ {
+		if len(strings.Fields(c.DropTokens("one two three four"))) == 3 {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Error("DropTokens never dropped")
+	}
+
+	sawMissing := false
+	for i := 0; i < 200 && !sawMissing; i++ {
+		if c.Missing("x") == "" {
+			sawMissing = true
+		}
+	}
+	if !sawMissing {
+		t.Error("Missing never blanked")
+	}
+
+	// Abbreviate swaps known venues in both directions.
+	sawAbbr := false
+	for i := 0; i < 50 && !sawAbbr; i++ {
+		if c.Abbreviate("international conference on management of data") == "sigmod" {
+			sawAbbr = true
+		}
+	}
+	if !sawAbbr {
+		t.Error("Abbreviate never abbreviated a known venue")
+	}
+	if got := c.Abbreviate("unknown venue name"); got != "unknown venue name" {
+		t.Errorf("Abbreviate changed an unknown venue: %q", got)
+	}
+
+	// Initialize turns full first names into initials.
+	sawInit := false
+	for i := 0; i < 50 && !sawInit; i++ {
+		if c.Initialize("thomas brinkhoff") == "t brinkhoff" {
+			sawInit = true
+		}
+	}
+	if !sawInit {
+		t.Error("Initialize never abbreviated a first name")
+	}
+
+	// PriceNoise keeps the value parseable (allowing the $ prefix).
+	for i := 0; i < 20; i++ {
+		got := c.PriceNoise("100.00")
+		trimmed := strings.TrimPrefix(got, "$")
+		if !strings.ContainsAny(trimmed, "0123456789") {
+			t.Errorf("PriceNoise produced non-numeric %q", got)
+		}
+	}
+	if got := c.PriceNoise("not a price"); got != "not a price" {
+		t.Errorf("PriceNoise changed unparseable value: %q", got)
+	}
+
+	// YearOffByOne stays within ±1.
+	for i := 0; i < 100; i++ {
+		got := c.YearOffByOne("1999")
+		if got != "1998" && got != "1999" && got != "2000" {
+			t.Errorf("YearOffByOne produced %q", got)
+		}
+	}
+}
+
+func TestZeroIntensityCorruptorIsIdentity(t *testing.T) {
+	rng := stats.NewRNG(9)
+	c := NewCorruptor(0, rng)
+	vals := []string{"some title words here", "a name, b name", "sigmod", "1999", "250.00"}
+	ops := []func(string) string{
+		c.Typo, c.DropTokens, c.Truncate, c.Missing, c.Reorder,
+		c.DropEntity, c.Initialize, c.Abbreviate, c.PriceNoise, c.YearOffByOne,
+	}
+	for _, v := range vals {
+		for i, op := range ops {
+			if got := op(v); got != v {
+				t.Errorf("op %d changed %q to %q at zero intensity", i, v, got)
+			}
+		}
+	}
+}
+
+func TestCorruptorIntensityClamped(t *testing.T) {
+	if c := NewCorruptor(-1, stats.NewRNG(1)); c.Intensity != 0 {
+		t.Error("negative intensity not clamped")
+	}
+	if c := NewCorruptor(2, stats.NewRNG(1)); c.Intensity != 1 {
+		t.Error("oversized intensity not clamped")
+	}
+}
+
+func TestSiblingsDifferFromBase(t *testing.T) {
+	rng := stats.NewRNG(13)
+	domains := []Domain{BibDomain{}, ProductABDomain{}, ProductAGDomain{}, SongDomain{}}
+	for _, d := range domains {
+		for i := 0; i < 20; i++ {
+			e := d.Entity(rng)
+			s := d.Sibling(e, rng)
+			if len(s) != len(e) {
+				t.Fatalf("%T: sibling arity %d vs %d", d, len(s), len(e))
+			}
+			same := true
+			for j := range e {
+				if s[j] != e[j] {
+					same = false
+				}
+			}
+			if same {
+				t.Errorf("%T: sibling identical to base entity %v", d, e)
+			}
+		}
+	}
+}
+
+func TestDomainSchemasMatchTable2Arity(t *testing.T) {
+	want := map[string]int{"DS": 4, "AB": 3, "AG": 4, "SG": 7, "DA": 4}
+	for name, arity := range want {
+		spec, _ := ByName(name, 1)
+		if got := len(spec.Domain.Schema().Attrs); got != arity {
+			t.Errorf("%s schema arity = %d, want %d", name, got, arity)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package datagen
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Domain generates ground-truth entities of one flavour (bibliographic,
+// product, song), corrupts them into observed records, and fabricates
+// "sibling" entities: distinct real-world entities that look deceptively
+// similar (a paper's extended journal version, the next model in a product
+// line) — the pairs that make classifiers err and risk analysis worthwhile.
+type Domain interface {
+	// Schema returns the attribute schema of the domain.
+	Schema() *dataset.Schema
+	// Entity draws a new ground-truth entity's attribute values.
+	Entity(rng *stats.RNG) []string
+	// Corrupt derives one observed record from the entity values.
+	Corrupt(values []string, c *Corruptor) []string
+	// Sibling derives a distinct but similar entity from the given one.
+	Sibling(values []string, rng *stats.RNG) []string
+}
+
+func pick(rng *stats.RNG, vocab []string) string { return vocab[rng.Intn(len(vocab))] }
+
+func pickN(rng *stats.RNG, vocab []string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = pick(rng, vocab)
+	}
+	return out
+}
+
+// BibDomain generates bibliographic entities with the DBLP-Scholar /
+// DBLP-ACM schema: title, authors, venue, year (4 attributes, Table 2).
+type BibDomain struct{}
+
+// Schema implements Domain.
+func (BibDomain) Schema() *dataset.Schema {
+	return &dataset.Schema{Name: "bib", Attrs: []dataset.Attr{
+		{Name: "title", Type: metrics.Text},
+		{Name: "authors", Type: metrics.EntitySet},
+		{Name: "venue", Type: metrics.EntityName},
+		{Name: "year", Type: metrics.Numeric},
+	}}
+}
+
+// Entity implements Domain.
+func (BibDomain) Entity(rng *stats.RNG) []string {
+	nTitle := 4 + rng.Intn(5)
+	title := strings.Join(pickN(rng, titleWords, nTitle), " ")
+	nAuth := 1 + rng.Intn(4)
+	authors := make([]string, nAuth)
+	for i := range authors {
+		authors[i] = pick(rng, firstNames) + " " + pick(rng, surnames)
+	}
+	venue := venues[rng.Intn(len(venues))][0]
+	year := strconv.Itoa(1975 + rng.Intn(30))
+	return []string{title, strings.Join(authors, ", "), venue, year}
+}
+
+// Corrupt implements Domain.
+func (BibDomain) Corrupt(v []string, c *Corruptor) []string {
+	return []string{
+		c.Typo(c.Truncate(c.DropTokens(v[0]))),
+		c.DropEntity(c.Reorder(c.Initialize(v[1]))),
+		c.Missing(c.Abbreviate(v[2])),
+		c.Missing(c.YearOffByOne(v[3])),
+	}
+}
+
+// Sibling implements Domain. A bibliographic sibling models the classic
+// hard cases: the same group's follow-up paper (shared authors, one title
+// word changed, later year) or the journal version (same title, different
+// venue and year).
+func (BibDomain) Sibling(v []string, rng *stats.RNG) []string {
+	out := make([]string, len(v))
+	copy(out, v)
+	switch rng.Intn(3) {
+	case 0: // follow-up paper: tweak one title word, bump year
+		toks := strings.Fields(out[0])
+		if len(toks) > 0 {
+			toks[rng.Intn(len(toks))] = pick(rng, titleWords)
+		}
+		out[0] = strings.Join(toks, " ")
+		out[3] = bumpYear(out[3], 1+rng.Intn(2))
+	case 1: // journal version: same title, new venue, later year
+		out[2] = venues[rng.Intn(len(venues))][0]
+		out[3] = bumpYear(out[3], 1+rng.Intn(3))
+	default: // different author subset on a similar topic
+		toks := strings.Fields(out[0])
+		if len(toks) > 1 {
+			toks[len(toks)-1] = pick(rng, titleWords)
+		}
+		out[0] = strings.Join(toks, " ")
+		authors := strings.Split(out[1], ", ")
+		authors[rng.Intn(len(authors))] = pick(rng, firstNames) + " " + pick(rng, surnames)
+		out[1] = strings.Join(authors, ", ")
+	}
+	return out
+}
+
+func bumpYear(s string, delta int) string {
+	y, err := strconv.Atoi(s)
+	if err != nil {
+		return s
+	}
+	return strconv.Itoa(y + delta)
+}
+
+// ProductABDomain generates consumer-electronics products with the Abt-Buy
+// schema: name, description, price (3 attributes, Table 2).
+type ProductABDomain struct{}
+
+// Schema implements Domain.
+func (ProductABDomain) Schema() *dataset.Schema {
+	return &dataset.Schema{Name: "productAB", Attrs: []dataset.Attr{
+		{Name: "name", Type: metrics.EntityName},
+		{Name: "description", Type: metrics.Text},
+		{Name: "price", Type: metrics.Numeric},
+	}}
+}
+
+// Entity implements Domain.
+func (ProductABDomain) Entity(rng *stats.RNG) []string {
+	brand := pick(rng, productBrands)
+	noun := pick(rng, productNouns)
+	model := modelNumber(rng)
+	name := brand + " " + noun + " " + model
+	desc := brand + " " + strings.Join(pickN(rng, productAdjs, 2+rng.Intn(3)), " ") +
+		" " + noun + " model " + model
+	price := strconv.FormatFloat(20+rng.Float64()*980, 'f', 2, 64)
+	return []string{name, desc, price}
+}
+
+func modelNumber(rng *stats.RNG) string {
+	letters := "abcdefghjklmnprstvwx"
+	return string(letters[rng.Intn(len(letters))]) +
+		string(letters[rng.Intn(len(letters))]) + "-" +
+		strconv.Itoa(100+rng.Intn(900))
+}
+
+// Corrupt implements Domain.
+func (ProductABDomain) Corrupt(v []string, c *Corruptor) []string {
+	return []string{
+		c.Typo(c.DropTokens(v[0])),
+		c.Missing(c.Truncate(c.DropTokens(v[1]))),
+		c.Missing(c.PriceNoise(v[2])),
+	}
+}
+
+// Sibling implements Domain: the adjacent model number in the same product
+// line, or the same model in a different colour/edition with another price.
+func (ProductABDomain) Sibling(v []string, rng *stats.RNG) []string {
+	out := make([]string, len(v))
+	copy(out, v)
+	toks := strings.Fields(out[0])
+	last := toks[len(toks)-1]
+	if i := strings.LastIndex(last, "-"); i >= 0 && rng.Intn(2) == 0 {
+		if n, err := strconv.Atoi(last[i+1:]); err == nil {
+			toks[len(toks)-1] = last[:i+1] + strconv.Itoa(n+1+rng.Intn(3))
+		}
+	} else {
+		toks = append(toks, pick(rng, productAdjs))
+	}
+	out[0] = strings.Join(toks, " ")
+	out[1] = strings.Replace(out[1], strings.Fields(v[0])[len(strings.Fields(v[0]))-1], toks[len(toks)-1], 1)
+	if f, err := strconv.ParseFloat(v[2], 64); err == nil {
+		out[2] = strconv.FormatFloat(f*(0.8+rng.Float64()*0.4), 'f', 2, 64)
+	}
+	return out
+}
+
+// ProductAGDomain generates software products with the Amazon-Google
+// schema: title, manufacturer, description, price (4 attributes, Table 2).
+type ProductAGDomain struct{}
+
+// Schema implements Domain.
+func (ProductAGDomain) Schema() *dataset.Schema {
+	return &dataset.Schema{Name: "productAG", Attrs: []dataset.Attr{
+		{Name: "title", Type: metrics.Text},
+		{Name: "manufacturer", Type: metrics.EntityName},
+		{Name: "description", Type: metrics.Text},
+		{Name: "price", Type: metrics.Numeric},
+	}}
+}
+
+// Entity implements Domain.
+func (ProductAGDomain) Entity(rng *stats.RNG) []string {
+	brand := pick(rng, softwareBrands)
+	noun := pick(rng, softwareNouns)
+	version := strconv.Itoa(2 + rng.Intn(10))
+	title := brand + " " + noun + " " + version + ".0"
+	desc := noun + " software " + strings.Join(pickN(rng, productAdjs, 2), " ") +
+		" version " + version
+	price := strconv.FormatFloat(10+rng.Float64()*290, 'f', 2, 64)
+	return []string{title, brand, desc, price}
+}
+
+// Corrupt implements Domain.
+func (ProductAGDomain) Corrupt(v []string, c *Corruptor) []string {
+	return []string{
+		c.Typo(c.DropTokens(v[0])),
+		c.Missing(v[1]),
+		c.Missing(c.Truncate(v[2])),
+		c.Missing(c.PriceNoise(v[3])),
+	}
+}
+
+// Sibling implements Domain: the next version of the same software product.
+func (ProductAGDomain) Sibling(v []string, rng *stats.RNG) []string {
+	out := make([]string, len(v))
+	copy(out, v)
+	bump := func(s string) string {
+		toks := strings.Fields(s)
+		for i, t := range toks {
+			if n, err := strconv.ParseFloat(strings.TrimSuffix(t, ".0"), 64); err == nil {
+				toks[i] = strconv.Itoa(int(n)+1) + ".0"
+				break
+			}
+		}
+		return strings.Join(toks, " ")
+	}
+	out[0] = bump(out[0])
+	out[2] = strings.Replace(out[2], "version", "upgrade version", 1)
+	if f, err := strconv.ParseFloat(v[3], 64); err == nil {
+		out[3] = strconv.FormatFloat(f*(0.9+rng.Float64()*0.3), 'f', 2, 64)
+	}
+	return out
+}
+
+// SongDomain generates song tracks with the Songs schema: title, artist,
+// album, year, duration, genre, track (7 attributes, Table 2).
+type SongDomain struct{}
+
+// Schema implements Domain.
+func (SongDomain) Schema() *dataset.Schema {
+	return &dataset.Schema{Name: "songs", Attrs: []dataset.Attr{
+		{Name: "title", Type: metrics.Text},
+		{Name: "artist", Type: metrics.EntityName},
+		{Name: "album", Type: metrics.EntityName},
+		{Name: "year", Type: metrics.Numeric},
+		{Name: "duration", Type: metrics.Numeric},
+		{Name: "genre", Type: metrics.Categorical},
+		{Name: "track", Type: metrics.Numeric},
+	}}
+}
+
+// Entity implements Domain.
+func (SongDomain) Entity(rng *stats.RNG) []string {
+	title := strings.Join(pickN(rng, songWords, 2+rng.Intn(3)), " ")
+	artist := pick(rng, artistFirst) + " " + pick(rng, artistLast)
+	album := strings.Join(pickN(rng, songWords, 1+rng.Intn(2)), " ")
+	year := strconv.Itoa(1955 + rng.Intn(50))
+	duration := strconv.Itoa(120 + rng.Intn(300))
+	genre := pick(rng, genres)
+	track := strconv.Itoa(1 + rng.Intn(14))
+	return []string{title, artist, album, year, duration, genre, track}
+}
+
+// Corrupt implements Domain.
+func (SongDomain) Corrupt(v []string, c *Corruptor) []string {
+	return []string{
+		c.Typo(v[0]),
+		c.Typo(v[1]),
+		c.Missing(c.DropTokens(v[2])),
+		c.Missing(c.YearOffByOne(v[3])),
+		c.PriceNoise(v[4]), // second-level duration jitter
+		c.Missing(v[5]),
+		c.Missing(v[6]),
+	}
+}
+
+// Sibling implements Domain: a live/remastered re-release of the track, or
+// a different song by the same artist on the same album.
+func (SongDomain) Sibling(v []string, rng *stats.RNG) []string {
+	out := make([]string, len(v))
+	copy(out, v)
+	if rng.Intn(2) == 0 {
+		out[0] = v[0] + " live"
+		out[3] = bumpYear(v[3], 1+rng.Intn(10))
+		out[4] = bumpYear(v[4], 5+rng.Intn(30))
+	} else {
+		out[0] = strings.Join(pickN(rng, songWords, 2+rng.Intn(2)), " ")
+		out[6] = bumpYear(v[6], 1)
+	}
+	return out
+}

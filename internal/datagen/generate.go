@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Spec describes a synthetic workload to generate. The counts follow paper
+// Table 2; Scale lets tests shrink everything proportionally.
+type Spec struct {
+	Name      string
+	Domain    Domain
+	Matches   int     // ground-truth equivalent pairs
+	Pairs     int     // total candidate pairs (matches + non-matches)
+	HardFrac  float64 // fraction of non-matches drawn from sibling entities
+	DupFrac   float64 // fraction of matched entities with a second right record
+	Dirtiness float64 // corruption intensity (0..1)
+	Seed      uint64
+}
+
+// Generate synthesizes a workload from the spec at the given scale
+// (scale 1.0 = Table 2 size; 0.05 is a comfortable unit-test size).
+func Generate(spec Spec, scale float64) (*dataset.Workload, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %v", scale)
+	}
+	matches := int(float64(spec.Matches) * scale)
+	pairs := int(float64(spec.Pairs) * scale)
+	if matches < 8 {
+		matches = 8
+	}
+	if pairs < matches*2 {
+		pairs = matches * 2
+	}
+	nonMatches := pairs - matches
+	hard := int(spec.HardFrac * float64(nonMatches))
+	random := nonMatches - hard
+
+	rng := stats.NewRNG(spec.Seed)
+	corr := NewCorruptor(spec.Dirtiness, rng)
+	schema := spec.Domain.Schema()
+	left := &dataset.Table{Name: spec.Name + "-left", Schema: schema}
+	right := &dataset.Table{Name: spec.Name + "-right", Schema: schema}
+	w := &dataset.Workload{Name: spec.Name, Left: left, Right: right}
+
+	addLeft := func(entity string, values []string) int {
+		left.Records = append(left.Records, dataset.Record{
+			ID:       "l" + strconv.Itoa(len(left.Records)),
+			EntityID: entity,
+			Values:   values,
+		})
+		return len(left.Records) - 1
+	}
+	addRight := func(entity string, values []string) int {
+		right.Records = append(right.Records, dataset.Record{
+			ID:       "r" + strconv.Itoa(len(right.Records)),
+			EntityID: entity,
+			Values:   values,
+		})
+		return len(right.Records) - 1
+	}
+
+	// Matched entities: one left record, one (sometimes two) right records.
+	type matched struct {
+		entity  []string
+		leftIdx int
+	}
+	var seeds []matched
+	made := 0
+	for made < matches {
+		entity := spec.Domain.Entity(rng)
+		eid := "e" + strconv.Itoa(len(seeds))
+		li := addLeft(eid, spec.Domain.Corrupt(entity, corr))
+		seeds = append(seeds, matched{entity: entity, leftIdx: li})
+		ri := addRight(eid, spec.Domain.Corrupt(entity, corr))
+		w.Pairs = append(w.Pairs, dataset.Pair{Left: li, Right: ri, Match: true})
+		made++
+		if made < matches && rng.Float64() < spec.DupFrac {
+			ri2 := addRight(eid, spec.Domain.Corrupt(entity, corr))
+			w.Pairs = append(w.Pairs, dataset.Pair{Left: li, Right: ri2, Match: true})
+			made++
+		}
+	}
+
+	// Hard non-matches: sibling entity on the right, paired with the
+	// original's left record.
+	for i := 0; i < hard; i++ {
+		base := seeds[rng.Intn(len(seeds))]
+		sib := spec.Domain.Sibling(base.entity, rng)
+		eid := "s" + strconv.Itoa(i)
+		ri := addRight(eid, spec.Domain.Corrupt(sib, corr))
+		w.Pairs = append(w.Pairs, dataset.Pair{Left: base.leftIdx, Right: ri, Match: false})
+	}
+
+	// Random non-matches: cross pairs between distinct matched entities
+	// (they still share domain vocabulary, so they are not trivially far).
+	for i := 0; i < random; i++ {
+		a := rng.Intn(len(seeds))
+		b := rng.Intn(len(seeds))
+		for b == a {
+			b = rng.Intn(len(seeds))
+		}
+		// Pair the left record of a with a fresh corruption of entity b.
+		ri := addRight("e"+strconv.Itoa(b), spec.Domain.Corrupt(seeds[b].entity, corr))
+		w.Pairs = append(w.Pairs, dataset.Pair{Left: seeds[a].leftIdx, Right: ri, Match: false})
+	}
+
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: generated invalid workload: %w", err)
+	}
+	return w, nil
+}

@@ -1,0 +1,94 @@
+package datagen
+
+import "repro/internal/dataset"
+
+// The named profiles mirror paper Table 2:
+//
+//	Dataset  Size    #Matches  #Attributes
+//	DS       41416   5073      4
+//	AB       52191   904       3
+//	AG       13049   1150      4
+//	SG       144946  6842      7
+//
+// plus DA (DBLP-ACM), the cleaner bibliographic dataset used as the OOD
+// training source of Figure 10. Hard-fraction and dirtiness are tuned so
+// that the DeepMatcher-substitute classifier lands in a realistic accuracy
+// band (some percent of mislabels, concentrated on sibling pairs and heavy
+// corruption), which is the regime risk analysis targets.
+
+// DS returns the DBLP-Scholar profile (dirty bibliographic data).
+func DS(seed uint64) Spec {
+	return Spec{
+		Name: "DS", Domain: BibDomain{},
+		Matches: 5073, Pairs: 41416,
+		HardFrac: 0.25, DupFrac: 0.3, Dirtiness: 0.45, Seed: seed,
+	}
+}
+
+// DA returns the DBLP-ACM profile (clean bibliographic data; OOD source).
+func DA(seed uint64) Spec {
+	return Spec{
+		Name: "DA", Domain: BibDomain{},
+		Matches: 2224, Pairs: 12363,
+		HardFrac: 0.2, DupFrac: 0.05, Dirtiness: 0.15, Seed: seed,
+	}
+}
+
+// AB returns the Abt-Buy profile (dirty consumer electronics, extreme class
+// imbalance).
+func AB(seed uint64) Spec {
+	return Spec{
+		Name: "AB", Domain: ProductABDomain{},
+		Matches: 904, Pairs: 52191,
+		HardFrac: 0.18, DupFrac: 0.05, Dirtiness: 0.5, Seed: seed,
+	}
+}
+
+// AG returns the Amazon-Google profile (software products).
+func AG(seed uint64) Spec {
+	return Spec{
+		Name: "AG", Domain: ProductAGDomain{},
+		Matches: 1150, Pairs: 13049,
+		HardFrac: 0.22, DupFrac: 0.08, Dirtiness: 0.45, Seed: seed,
+	}
+}
+
+// SG returns the Songs profile (single-table dedup flavour, 7 attributes).
+func SG(seed uint64) Spec {
+	return Spec{
+		Name: "SG", Domain: SongDomain{},
+		Matches: 6842, Pairs: 144946,
+		HardFrac: 0.15, DupFrac: 0.1, Dirtiness: 0.35, Seed: seed,
+	}
+}
+
+// ByName returns the profile with the given name (DS, DA, AB, AG, SG) or
+// false when unknown.
+func ByName(name string, seed uint64) (Spec, bool) {
+	switch name {
+	case "DS":
+		return DS(seed), true
+	case "DA":
+		return DA(seed), true
+	case "AB":
+		return AB(seed), true
+	case "AG":
+		return AG(seed), true
+	case "SG":
+		return SG(seed), true
+	}
+	return Spec{}, false
+}
+
+// Names lists the available profile names in Table 2 order plus DA.
+func Names() []string { return []string{"DS", "AB", "AG", "SG", "DA"} }
+
+// MustGenerate is Generate for callers with static, known-good specs
+// (experiment harnesses, examples); it panics on error.
+func MustGenerate(spec Spec, scale float64) *dataset.Workload {
+	w, err := Generate(spec, scale)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteTableCSV writes the table as CSV with a header row of
+// id,entity_id,<attr names...>.
+func WriteTableCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"id", "entity_id"}, t.Schema.AttrNames()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		row := append([]string{r.ID, r.EntityID}, r.Values...)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTableCSV reads a table written by WriteTableCSV (or a real benchmark
+// file with the same layout) under the given schema. Rows shorter than the
+// schema are padded with empty values; longer rows are an error.
+func ReadTableCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading %s: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: %s: empty CSV", name)
+	}
+	t := &Table{Name: name, Schema: schema}
+	for i, row := range rows[1:] { // skip header
+		if len(row) < 2 {
+			return nil, fmt.Errorf("dataset: %s row %d: need id and entity_id columns", name, i+2)
+		}
+		if len(row) > 2+len(schema.Attrs) {
+			return nil, fmt.Errorf("dataset: %s row %d: %d columns exceed schema arity %d",
+				name, i+2, len(row)-2, len(schema.Attrs))
+		}
+		values := make([]string, len(schema.Attrs))
+		copy(values, row[2:])
+		t.Records = append(t.Records, Record{ID: row[0], EntityID: row[1], Values: values})
+	}
+	return t, nil
+}
+
+// WritePairsCSV writes the workload's pairs as left_id,right_id,match rows.
+func WritePairsCSV(w io.Writer, wl *Workload) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"left_id", "right_id", "match"}); err != nil {
+		return err
+	}
+	for _, p := range wl.Pairs {
+		match := "0"
+		if p.Match {
+			match = "1"
+		}
+		row := []string{wl.Left.Records[p.Left].ID, wl.Right.Records[p.Right].ID, match}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPairsCSV reads a pairs file written by WritePairsCSV and resolves the
+// record IDs against the two tables.
+func ReadPairsCSV(r io.Reader, left, right *Table) ([]Pair, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading pairs: %w", err)
+	}
+	leftIdx := indexByID(left)
+	rightIdx := indexByID(right)
+	var pairs []Pair
+	for i, row := range rows[1:] {
+		if len(row) != 3 {
+			return nil, fmt.Errorf("dataset: pairs row %d: want 3 columns, got %d", i+2, len(row))
+		}
+		li, ok := leftIdx[row[0]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: pairs row %d: unknown left id %q", i+2, row[0])
+		}
+		ri, ok := rightIdx[row[1]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: pairs row %d: unknown right id %q", i+2, row[1])
+		}
+		match, err := strconv.ParseBool(normalizeBool(row[2]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: pairs row %d: bad match flag %q", i+2, row[2])
+		}
+		pairs = append(pairs, Pair{Left: li, Right: ri, Match: match})
+	}
+	return pairs, nil
+}
+
+func normalizeBool(s string) string {
+	switch s {
+	case "1", "true", "True", "TRUE", "yes":
+		return "true"
+	case "0", "false", "False", "FALSE", "no":
+		return "false"
+	}
+	return s
+}
+
+func indexByID(t *Table) map[string]int {
+	idx := make(map[string]int, len(t.Records))
+	for i, r := range t.Records {
+		idx[r.ID] = i
+	}
+	return idx
+}
+
+// SaveWorkload writes the workload's two tables and pairs file into dir as
+// <name>_left.csv, <name>_right.csv and <name>_pairs.csv.
+func SaveWorkload(dir string, w *Workload) error {
+	write := func(suffix string, f func(io.Writer) error) error {
+		file, err := os.Create(fmt.Sprintf("%s/%s_%s.csv", dir, w.Name, suffix))
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		return f(file)
+	}
+	if err := write("left", func(out io.Writer) error { return WriteTableCSV(out, w.Left) }); err != nil {
+		return err
+	}
+	if err := write("right", func(out io.Writer) error { return WriteTableCSV(out, w.Right) }); err != nil {
+		return err
+	}
+	return write("pairs", func(out io.Writer) error { return WritePairsCSV(out, w) })
+}

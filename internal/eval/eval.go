@@ -1,0 +1,210 @@
+// Package eval implements the evaluation machinery of the paper's Section
+// 3: ROC curves and AUROC over risk scores (positives = mislabeled pairs),
+// plus the precision/recall/F1 metrics used for classifier quality in the
+// active-learning experiment (Figure 14).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ROCPoint is one (FPR, TPR) point of a ROC curve.
+type ROCPoint struct {
+	FPR, TPR float64
+}
+
+// ROC computes the ROC curve of the scores against the binary labels
+// (true = positive, i.e. mislabeled). Ties in score are handled by
+// processing all tied instances before emitting a point, the standard
+// trapezoidal convention. The curve always starts at (0,0) and ends at (1,1).
+func ROC(scores []float64, positives []bool) []ROCPoint {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var totPos, totNeg float64
+	for _, p := range positives {
+		if p {
+			totPos++
+		} else {
+			totNeg++
+		}
+	}
+	curve := []ROCPoint{{0, 0}}
+	if totPos == 0 || totNeg == 0 {
+		curve = append(curve, ROCPoint{1, 1})
+		return curve
+	}
+	var tp, fp float64
+	i := 0
+	for i < n {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			if positives[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{FPR: fp / totNeg, TPR: tp / totPos})
+		i = j
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		curve = append(curve, ROCPoint{1, 1})
+	}
+	return curve
+}
+
+// AUROC returns the area under the ROC curve, computed directly as the
+// Mann-Whitney rank statistic: the probability that a random positive
+// outscores a random negative, with ties counting half (exactly the
+// interpretation the paper cites from [23, 31]). It returns 0.5 when either
+// class is empty (the trivial model).
+func AUROC(scores []float64, positives []bool) float64 {
+	type sl struct {
+		s   float64
+		pos bool
+	}
+	items := make([]sl, len(scores))
+	var nPos, nNeg float64
+	for i := range scores {
+		items[i] = sl{scores[i], positives[i]}
+		if positives[i] {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].s < items[b].s })
+	// Sum of positive ranks with midrank tie handling.
+	var rankSum float64
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].s == items[i].s {
+			j++
+		}
+		// Ranks i+1..j share the midrank.
+		mid := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			if items[k].pos {
+				rankSum += mid
+			}
+		}
+		i = j
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// Confusion counts a binary labeling against ground truth.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Count tallies predicted vs actual.
+func Count(predicted, actual []bool) Confusion {
+	var c Confusion
+	for i := range predicted {
+		switch {
+		case predicted[i] && actual[i]:
+			c.TP++
+		case predicted[i] && !actual[i]:
+			c.FP++
+		case !predicted[i] && actual[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// RenderASCII draws the ROC curve as a small ASCII plot (width x height
+// characters), the repository's terminal stand-in for the paper's figures.
+func RenderASCII(curve []ROCPoint, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// Interpolate the curve across columns.
+	for col := 0; col < width; col++ {
+		x := float64(col) / float64(width-1)
+		y := interpTPR(curve, x)
+		row := height - 1 - int(y*float64(height-1)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	for r := range grid {
+		b.WriteString("|")
+		b.Write(grid[r])
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "-> FPR\n")
+	return b.String()
+}
+
+func interpTPR(curve []ROCPoint, fpr float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR >= fpr {
+			a, b := curve[i-1], curve[i]
+			if b.FPR == a.FPR {
+				return b.TPR
+			}
+			t := (fpr - a.FPR) / (b.FPR - a.FPR)
+			return a.TPR + t*(b.TPR-a.TPR)
+		}
+	}
+	return curve[len(curve)-1].TPR
+}
+
+// FormatAUROC renders "name (AUROC=0.982)" exactly like the figure legends.
+func FormatAUROC(name string, auroc float64) string {
+	return fmt.Sprintf("%s (AUROC=%.3f)", name, auroc)
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestAUROCPerfectAndInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	pos := []bool{true, true, false, false}
+	if got := AUROC(scores, pos); got != 1 {
+		t.Errorf("perfect ranking AUROC = %f, want 1", got)
+	}
+	inv := []bool{false, false, true, true}
+	if got := AUROC(scores, inv); got != 0 {
+		t.Errorf("inverted ranking AUROC = %f, want 0", got)
+	}
+}
+
+func TestAUROCTiesAndDegenerate(t *testing.T) {
+	// All scores tied: AUROC must be 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	pos := []bool{true, false, true, false}
+	if got := AUROC(scores, pos); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("tied AUROC = %f, want 0.5", got)
+	}
+	// Single-class inputs: trivial 0.5 by convention.
+	if got := AUROC([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Errorf("single-class AUROC = %f", got)
+	}
+	if got := AUROC(nil, nil); got != 0.5 {
+		t.Errorf("empty AUROC = %f", got)
+	}
+}
+
+func TestAUROCHandComputed(t *testing.T) {
+	// scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+	// Pairs: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) -> 3/4.
+	scores := []float64{0.8, 0.4, 0.6, 0.2}
+	pos := []bool{true, true, false, false}
+	if got := AUROC(scores, pos); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AUROC = %f, want 0.75", got)
+	}
+}
+
+func TestAUROCMatchesROCIntegration(t *testing.T) {
+	rng := stats.NewRNG(3)
+	n := 300
+	scores := make([]float64, n)
+	pos := make([]bool, n)
+	for i := range scores {
+		pos[i] = rng.Float64() < 0.3
+		if pos[i] {
+			scores[i] = rng.Float64()*0.8 + 0.2
+		} else {
+			scores[i] = rng.Float64() * 0.8
+		}
+	}
+	direct := AUROC(scores, pos)
+	curve := ROC(scores, pos)
+	trap := 0.0
+	for i := 1; i < len(curve); i++ {
+		trap += (curve[i].FPR - curve[i-1].FPR) * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	if math.Abs(direct-trap) > 1e-9 {
+		t.Errorf("rank AUROC %f vs trapezoid %f", direct, trap)
+	}
+}
+
+func TestAUROCInvariantUnderMonotoneTransform(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 50
+		scores := make([]float64, n)
+		trans := make([]float64, n)
+		pos := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			trans[i] = math.Exp(3 * scores[i]) // strictly increasing
+			pos[i] = rng.Float64() < 0.4
+		}
+		return math.Abs(AUROC(scores, pos)-AUROC(trans, pos)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROCShape(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.5, 0.3}
+	pos := []bool{true, false, true, false}
+	curve := ROC(scores, pos)
+	if curve[0] != (ROCPoint{0, 0}) {
+		t.Errorf("curve must start at origin, got %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last != (ROCPoint{1, 1}) {
+		t.Errorf("curve must end at (1,1), got %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Errorf("curve not monotone at %d: %+v -> %+v", i, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	curve := ROC([]float64{1, 2}, []bool{true, true})
+	if len(curve) != 2 {
+		t.Errorf("degenerate curve = %v", curve)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	pred := []bool{true, true, false, false, true}
+	act := []bool{true, false, true, false, true}
+	c := Count(pred, act)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if math.Abs(c.Precision()-2.0/3.0) > 1e-12 {
+		t.Errorf("precision %f", c.Precision())
+	}
+	if math.Abs(c.Recall()-2.0/3.0) > 1e-12 {
+		t.Errorf("recall %f", c.Recall())
+	}
+	if math.Abs(c.F1()-2.0/3.0) > 1e-12 {
+		t.Errorf("f1 %f", c.F1())
+	}
+	empty := Confusion{}
+	if empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty confusion should yield zeros")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	curve := ROC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{true, true, false, false})
+	s := RenderASCII(curve, 40, 10)
+	if !strings.Contains(s, "*") || !strings.Contains(s, "FPR") {
+		t.Errorf("plot missing elements:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Errorf("plot has %d lines, want 11", len(lines))
+	}
+	// Tiny dimensions are clamped, not crashed.
+	if s := RenderASCII(curve, 1, 1); s == "" {
+		t.Error("clamped render empty")
+	}
+}
+
+func TestFormatAUROC(t *testing.T) {
+	if got := FormatAUROC("LearnRisk", 0.9821); got != "LearnRisk (AUROC=0.982)" {
+		t.Errorf("FormatAUROC = %q", got)
+	}
+}

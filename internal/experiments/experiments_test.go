@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/active"
+	"repro/internal/classifier"
+	"repro/internal/dtree"
+)
+
+func quick(seed uint64) Settings {
+	s := Quick()
+	s.Seed = seed
+	return s
+}
+
+func TestFig9CellAllMethods(t *testing.T) {
+	cell, err := Fig9Cell("DS", "3:2:5", quick(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Pairs == 0 {
+		t.Fatal("empty test part")
+	}
+	for _, m := range MethodNames() {
+		v, ok := cell.AUROC[m]
+		if !ok {
+			t.Fatalf("missing method %s", m)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("%s AUROC %f out of range", m, v)
+		}
+	}
+	// The paper's headline claim at this panel: LearnRisk leads.
+	lr := cell.AUROC["LearnRisk"]
+	for _, m := range []string{"Baseline", "Uncertainty"} {
+		if lr < cell.AUROC[m]-0.05 {
+			t.Errorf("LearnRisk (%.3f) should not trail %s (%.3f) meaningfully",
+				lr, m, cell.AUROC[m])
+		}
+	}
+	out := FormatCells([]*CellResult{cell})
+	if !strings.Contains(out, "DS") || !strings.Contains(out, "LearnRisk") {
+		t.Errorf("FormatCells output malformed:\n%s", out)
+	}
+}
+
+func TestFig10OOD(t *testing.T) {
+	for _, name := range Fig10Workloads() {
+		cell, err := Fig10(name, quick(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cell.Mislabels == 0 {
+			t.Errorf("%s: OOD workload should produce mislabels", name)
+		}
+		if lr := cell.AUROC["LearnRisk"]; lr < 0.55 {
+			t.Errorf("%s: LearnRisk OOD AUROC %.3f too low", name, lr)
+		}
+	}
+	if _, err := Fig10("NOPE", quick(1)); err == nil {
+		t.Error("unknown OOD workload should fail")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	res, err := Fig11("DS", 150, 2, quick(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LearnRisk < 0 || res.LearnRisk > 1 || res.HoloClean < 0 || res.HoloClean > 1 {
+		t.Fatalf("AUROCs out of range: %+v", res)
+	}
+	out := FormatFig11([]*Fig11Result{res})
+	if !strings.Contains(out, "HoloClean") {
+		t.Errorf("FormatFig11 malformed:\n%s", out)
+	}
+}
+
+func TestFig12(t *testing.T) {
+	pts, err := Fig12Random("DS", []float64{0.01, 0.05}, quick(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.AUROC < 0.5 {
+			t.Errorf("random %s AUROC %.3f below chance", p.Label, p.AUROC)
+		}
+	}
+	apts, err := Fig12Active("DS", []int{40, 80}, quick(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apts) != 2 || apts[0].Size != 40 || apts[1].Size != 80 {
+		t.Fatalf("active points %+v", apts)
+	}
+	out := FormatSensitivity("DS random", pts)
+	if !strings.Contains(out, "AUROC") {
+		t.Errorf("FormatSensitivity malformed:\n%s", out)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	rg, err := Fig13RuleGen("DS", []int{100, 200}, quick(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rg) != 2 || rg[0].Seconds < 0 {
+		t.Fatalf("rule-gen points %+v", rg)
+	}
+	rt, err := Fig13RiskTraining("DS", []int{50, 100}, quick(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != 2 {
+		t.Fatalf("risk-training points %+v", rt)
+	}
+	out := FormatScalability("rule generation", rg)
+	if !strings.Contains(out, "seconds") {
+		t.Errorf("FormatScalability malformed:\n%s", out)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	curves, err := Fig14("DS", quick(9), active.Config{
+		InitialSize: 48, BatchSize: 24, Rounds: 1,
+		Classifier: classifier.Config{Epochs: 10},
+		RuleGen:    dtree.OneSidedConfig{MaxDepth: 2, BranchFactor: 3},
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	out := FormatFig14(curves)
+	if !strings.Contains(out, "LearnRisk") || !strings.Contains(out, "48") {
+		t.Errorf("FormatFig14 malformed:\n%s", out)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	sts, err := Table2(quick(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 5 {
+		t.Fatalf("got %d rows, want 5", len(sts))
+	}
+	out := FormatTable2(sts)
+	for _, name := range []string{"DS", "AB", "AG", "SG", "DA"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 2 missing %s:\n%s", name, out)
+		}
+	}
+	// Match ratios should roughly track Table 2 (e.g. AB is the most
+	// imbalanced of the four).
+	ratios := map[string]float64{}
+	for _, s := range sts {
+		ratios[s.Name] = float64(s.Matches) / float64(s.Size)
+	}
+	if ratios["AB"] > ratios["DS"] {
+		t.Errorf("AB ratio %.3f should be below DS ratio %.3f", ratios["AB"], ratios["DS"])
+	}
+}
+
+func TestIllustrations(t *testing.T) {
+	out := Illustrations()
+	for _, want := range []string{"Figure 2", "Figure 7", "Figure 8", "VaR", "AUROC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Illustrations missing %q", want)
+		}
+	}
+	// Figure 2's constructed models must be ordered A > B > C ~ 0.5.
+	// (The text contains the AUROCs; a rough structural check suffices.)
+	if !strings.Contains(out, "model A") || !strings.Contains(out, "model C") {
+		t.Error("Illustrations missing model legend")
+	}
+}
+
+func TestNoiseSweep(t *testing.T) {
+	pts, err := NoiseSweep("DS", []float64{0.2, 0.6}, quick(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Both intensities must yield a workable risk-analysis regime: some
+	// classifier mistakes and in-range AUROCs. (The mislabel count is not
+	// strictly monotone in dirtiness at test scale: moderate corruption
+	// already defeats the similarity-only classifier on sibling pairs.)
+	for _, p := range pts {
+		if p.Mislabels == 0 {
+			t.Errorf("dirtiness %.1f yields no mislabels", p.Dirtiness)
+		}
+		for m, v := range p.AUROC {
+			if v < 0 || v > 1 {
+				t.Errorf("dirtiness %.1f: %s AUROC %f out of range", p.Dirtiness, m, v)
+			}
+		}
+	}
+	out := FormatNoiseSweep(pts)
+	if !strings.Contains(out, "dirtiness") || !strings.Contains(out, "LearnRisk") {
+		t.Errorf("FormatNoiseSweep malformed:\n%s", out)
+	}
+	if _, err := NoiseSweep("NOPE", []float64{0.1}, quick(1)); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestCalibrationClaim(t *testing.T) {
+	out, err := CalibrationClaim("DS", quick(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ECE", "AUROC", "ranking unchanged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CalibrationClaim output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := CalibrationClaim("NOPE", quick(1)); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestNewLabErrors(t *testing.T) {
+	if _, err := NewLab("NOPE", "3:2:5", quick(1)); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if _, err := NewLab("DS", "bogus", quick(1)); err == nil {
+		t.Error("bad ratio should fail")
+	}
+}
+
+func TestProjectAGontoAB(t *testing.T) {
+	s := quick(11)
+	cell, err := Fig10("AB2AG", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Dataset != "AB2AG" {
+		t.Errorf("dataset = %s", cell.Dataset)
+	}
+}

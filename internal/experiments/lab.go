@@ -1,0 +1,221 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 7 and Figure 14 of Section 8) on the synthetic
+// benchmark-shaped workloads. Each runner returns structured results;
+// print.go renders them as the rows/series the paper reports. The bench
+// harness (bench_test.go at the repository root) and cmd/experiments both
+// drive this package.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/dtree"
+	"repro/internal/eval"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+)
+
+// Settings scales the experiments. Quick is sized for unit tests and CI;
+// Default for regenerating the figures on a laptop.
+type Settings struct {
+	Scale            float64 // dataset scale relative to Table 2
+	Seed             uint64
+	ClassifierEpochs int
+	RiskEpochs       int
+	EnsembleSize     int // Uncertainty's bootstrap models (paper: 20)
+	RuleGen          dtree.OneSidedConfig
+}
+
+// Quick returns test-sized settings.
+func Quick() Settings {
+	return Settings{
+		Scale: 0.02, Seed: 1, ClassifierEpochs: 15, RiskEpochs: 150,
+		EnsembleSize: 5, RuleGen: dtree.OneSidedConfig{MaxDepth: 2, BranchFactor: 4},
+	}
+}
+
+// Default returns laptop-scale settings used to regenerate the figures:
+// 10% of Table 2 sizes, the paper's 20-model ensemble and its 1000-epoch
+// risk-training budget.
+func Default() Settings {
+	return Settings{
+		Scale: 0.1, Seed: 1, ClassifierEpochs: 40, RiskEpochs: 1000,
+		EnsembleSize: 20, RuleGen: dtree.OneSidedConfig{MaxDepth: 3, BranchFactor: 6},
+	}
+}
+
+// Lab is one prepared experimental setup: a generated workload, its split,
+// a trained classifier and its labelings — everything the five risk
+// methods consume.
+type Lab struct {
+	Settings Settings
+	W        *dataset.Workload
+	Cat      *metrics.Catalog
+	Split    dataset.Split
+	Matcher  *classifier.Matcher
+	ValidLab classifier.Labeled
+	TestLab  classifier.Labeled
+	TrainX   [][]float64
+	ValidX   [][]float64
+	TestX    [][]float64
+	TrainY   []bool
+}
+
+// NewLab generates the profile's workload at the settings' scale, splits it
+// by ratio, and trains the classifier on the training part.
+func NewLab(profile, ratio string, s Settings) (*Lab, error) {
+	spec, ok := datagen.ByName(profile, s.Seed)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown profile %q", profile)
+	}
+	w, err := datagen.Generate(spec, s.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return newLabFrom(w, ratio, s)
+}
+
+func newLabFrom(w *dataset.Workload, ratio string, s Settings) (*Lab, error) {
+	cat := w.Left.Schema.Catalog(w.Left, w.Right)
+	split, err := w.SplitPairs(ratio, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return newLabFromSplit(w, cat, split, s)
+}
+
+func newLabFromSplit(w *dataset.Workload, cat *metrics.Catalog, split dataset.Split, s Settings) (*Lab, error) {
+	m, err := classifier.Train(w, cat, split.Train, classifier.Config{
+		Epochs: s.ClassifierEpochs, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lab := &Lab{
+		Settings: s, W: w, Cat: cat, Split: split, Matcher: m,
+		ValidLab: m.Label(w, split.Valid),
+		TestLab:  m.Label(w, split.Test),
+		TrainX:   rules.Matrix(w, cat, split.Train),
+		ValidX:   rules.Matrix(w, cat, split.Valid),
+		TestX:    rules.Matrix(w, cat, split.Test),
+	}
+	lab.TrainY = make([]bool, len(split.Train))
+	for k, i := range split.Train {
+		lab.TrainY[k] = w.Pairs[i].Match
+	}
+	return lab, nil
+}
+
+// Mislabels returns the ground-truth risk labels of the test part.
+func (l *Lab) Mislabels() []bool {
+	out := make([]bool, len(l.TestLab.Idx))
+	for k := range l.TestLab.Idx {
+		out[k] = l.TestLab.Mislabeled(k)
+	}
+	return out
+}
+
+// GenerateFeatures runs risk-feature generation on the classifier training
+// data and returns the rules with their prior-expectation statistics.
+func (l *Lab) GenerateFeatures() ([]rules.Rule, []rules.Stat) {
+	rs := dtree.GenerateRiskFeatures(l.TrainX, l.TrainY, l.Cat.Names(), l.Settings.RuleGen)
+	return rs, rules.Stats(rs, l.TrainX, l.TrainY)
+}
+
+// LearnRiskScores runs the full LearnRisk method: features from the
+// training data, model trained on riskTrain (defaults to the validation
+// part when nil), scores for the test part.
+func (l *Lab) LearnRiskScores(riskTrainIdx []int) ([]float64, error) {
+	rs, sts := l.GenerateFeatures()
+	model, err := core.New(core.BuildFeatures(rs, sts), core.Config{
+		Epochs: l.Settings.RiskEpochs, Seed: l.Settings.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trainIdx := riskTrainIdx
+	var trainX [][]float64
+	var trainLab classifier.Labeled
+	if trainIdx == nil {
+		trainX, trainLab = l.ValidX, l.ValidLab
+	} else {
+		trainX = rules.Matrix(l.W, l.Cat, trainIdx)
+		trainLab = l.Matcher.Label(l.W, trainIdx)
+	}
+	insts, bad := core.BuildInstances(rules.Apply(rs, trainX), trainLab)
+	if err := model.Fit(insts, bad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
+		return nil, err
+	}
+	testInsts, _ := core.BuildInstances(rules.Apply(rs, l.TestX), l.TestLab)
+	return model.RiskAll(testInsts), nil
+}
+
+// BaselineScores runs the Baseline method [31] on the test part.
+func (l *Lab) BaselineScores() []float64 { return baselines.Baseline(l.TestLab) }
+
+// UncertaintyScores runs the Uncertainty method [40] on the test part.
+func (l *Lab) UncertaintyScores() ([]float64, error) {
+	e, err := classifier.TrainEnsemble(l.W, l.Cat, l.Split.Train, l.Settings.EnsembleSize,
+		classifier.Config{Epochs: l.Settings.ClassifierEpochs / 2, Seed: l.Settings.Seed + 100})
+	if err != nil {
+		return nil, err
+	}
+	return baselines.Uncertainty(e, l.W, l.Split.Test), nil
+}
+
+// TrustScoreScores runs the TrustScore method [35] on the test part.
+func (l *Lab) TrustScoreScores() []float64 {
+	return baselines.TrustScores(l.Matcher, l.W, l.Split.Train, l.TestLab, 5)
+}
+
+// StaticRiskScores runs the StaticRisk method [14] on the test part.
+func (l *Lab) StaticRiskScores() []float64 {
+	return baselines.StaticRisk(l.TestLab, l.ValidLab, baselines.StaticRiskConfig{})
+}
+
+// HoloCleanScores runs the HoloClean adaptation on the test part.
+func (l *Lab) HoloCleanScores() ([]float64, error) {
+	scores, _, err := baselines.HoloClean(l.W, l.Split.Train, l.TrainX, l.TestX,
+		l.Cat.Names(), l.TestLab, baselines.HoloCleanConfig{Seed: l.Settings.Seed})
+	return scores, err
+}
+
+// MethodNames lists the Figure 9 methods in legend order.
+func MethodNames() []string {
+	return []string{"Baseline", "Uncertainty", "TrustScore", "StaticRisk", "LearnRisk"}
+}
+
+// AllScores computes every Figure 9 method's risk scores on the test part.
+func (l *Lab) AllScores() (map[string][]float64, error) {
+	unc, err := l.UncertaintyScores()
+	if err != nil {
+		return nil, fmt.Errorf("uncertainty: %w", err)
+	}
+	lr, err := l.LearnRiskScores(nil)
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: %w", err)
+	}
+	return map[string][]float64{
+		"Baseline":    l.BaselineScores(),
+		"Uncertainty": unc,
+		"TrustScore":  l.TrustScoreScores(),
+		"StaticRisk":  l.StaticRiskScores(),
+		"LearnRisk":   lr,
+	}, nil
+}
+
+// AUROCs evaluates a score map against the test part's mislabels.
+func (l *Lab) AUROCs(scores map[string][]float64) map[string]float64 {
+	bad := l.Mislabels()
+	out := make(map[string]float64, len(scores))
+	for name, s := range scores {
+		out[name] = eval.AUROC(s, bad)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package humo implements the human-machine cooperation application of risk
+// analysis that the paper highlights (Section 1, citing r-HUMO [33]): risk
+// ranking "can be directly used to reduce required manual cost in machine
+// and human collaboration for high-quality entity resolution". The machine
+// labels everything; humans verify the riskiest pairs; verified labels are
+// corrected. This module simulates that loop against ground truth and
+// reports the quality bought per unit of human budget.
+package humo
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/classifier"
+	"repro/internal/eval"
+)
+
+// Outcome describes a triage run: the labeling quality before and after
+// spending Budget human verifications on the riskiest pairs.
+type Outcome struct {
+	Budget    int
+	Corrected int // mislabels fixed by the humans
+	AccBefore float64
+	AccAfter  float64
+	F1Before  float64
+	F1After   float64
+}
+
+// Triage verifies the `budget` riskiest pairs of the labeling (humans are
+// assumed accurate, so verification replaces the machine label with ground
+// truth) and measures the resulting quality.
+func Triage(l classifier.Labeled, risks []float64, budget int) (Outcome, error) {
+	if len(risks) != len(l.Idx) {
+		return Outcome{}, errors.New("humo: risks misaligned with labeling")
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	if budget > len(l.Idx) {
+		budget = len(l.Idx)
+	}
+	order := make([]int, len(risks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return risks[order[a]] > risks[order[b]] })
+
+	corrected := append([]bool(nil), l.Label...)
+	fixes := 0
+	for _, k := range order[:budget] {
+		if corrected[k] != l.Truth[k] {
+			fixes++
+		}
+		corrected[k] = l.Truth[k]
+	}
+	before := eval.Count(l.Label, l.Truth)
+	after := eval.Count(corrected, l.Truth)
+	return Outcome{
+		Budget:    budget,
+		Corrected: fixes,
+		AccBefore: accuracy(before, len(l.Idx)),
+		AccAfter:  accuracy(after, len(l.Idx)),
+		F1Before:  before.F1(),
+		F1After:   after.F1(),
+	}, nil
+}
+
+func accuracy(c eval.Confusion, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// BudgetCurve runs Triage for each budget and returns the outcomes in
+// order — the manual-cost vs quality tradeoff curve of r-HUMO.
+func BudgetCurve(l classifier.Labeled, risks []float64, budgets []int) ([]Outcome, error) {
+	out := make([]Outcome, 0, len(budgets))
+	for _, b := range budgets {
+		o, err := Triage(l, risks, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// MinBudgetForAccuracy returns the smallest human budget (verifying pairs
+// in descending risk order) that reaches the target labeling accuracy, and
+// whether the target is reachable at all. This simulates r-HUMO's quality
+// guarantee: spend only as much human effort as the guarantee requires.
+func MinBudgetForAccuracy(l classifier.Labeled, risks []float64, target float64) (int, bool, error) {
+	if len(risks) != len(l.Idx) {
+		return 0, false, errors.New("humo: risks misaligned with labeling")
+	}
+	n := len(l.Idx)
+	if n == 0 {
+		return 0, false, nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return risks[order[a]] > risks[order[b]] })
+
+	wrong := 0
+	for k := range l.Idx {
+		if l.Mislabeled(k) {
+			wrong++
+		}
+	}
+	if acc := 1 - float64(wrong)/float64(n); acc >= target {
+		return 0, true, nil
+	}
+	for spent, k := range order {
+		if l.Mislabeled(k) {
+			wrong--
+		}
+		if acc := 1 - float64(wrong)/float64(n); acc >= target {
+			return spent + 1, true, nil
+		}
+	}
+	return n, wrong == 0, nil
+}
+
+// Efficiency compares a risk ranking's triage yield with the yield of a
+// given alternative ranking at the same budget: the ratio of mislabels
+// corrected (>1 means the risk ranking buys more quality per unit of human
+// effort). A zero-yield alternative with a positive-yield risk ranking
+// reports +Inf as an honest "infinitely better".
+func Efficiency(l classifier.Labeled, risks, alternative []float64, budget int) (float64, error) {
+	a, err := Triage(l, risks, budget)
+	if err != nil {
+		return 0, err
+	}
+	b, err := Triage(l, alternative, budget)
+	if err != nil {
+		return 0, err
+	}
+	if b.Corrected == 0 {
+		if a.Corrected == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	return float64(a.Corrected) / float64(b.Corrected), nil
+}

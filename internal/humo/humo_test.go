@@ -1,0 +1,174 @@
+package humo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/classifier"
+	"repro/internal/stats"
+)
+
+// fakeLabeled fabricates a labeling with a known mislabel pattern and risk
+// scores of varying quality.
+func fakeLabeled(n int, seed uint64) (classifier.Labeled, []float64, []float64) {
+	rng := stats.NewRNG(seed)
+	l := classifier.Labeled{
+		Idx:   make([]int, n),
+		Prob:  make([]float64, n),
+		Label: make([]bool, n),
+		Truth: make([]bool, n),
+	}
+	perfect := make([]float64, n) // risk = 1 for mislabels
+	random := make([]float64, n)
+	for i := 0; i < n; i++ {
+		l.Idx[i] = i
+		l.Truth[i] = rng.Float64() < 0.3
+		mis := rng.Float64() < 0.15
+		l.Label[i] = l.Truth[i] != mis
+		l.Prob[i] = 0.5
+		if l.Label[i] {
+			l.Prob[i] = 0.9
+		}
+		if mis {
+			perfect[i] = 1
+		}
+		random[i] = rng.Float64()
+	}
+	return l, perfect, random
+}
+
+func TestTriagePerfectRisk(t *testing.T) {
+	l, perfect, _ := fakeLabeled(400, 1)
+	mislabels := l.MislabelCount()
+	o, err := Triage(l, perfect, mislabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Corrected != mislabels {
+		t.Errorf("perfect risk at budget=mislabels should fix all: %d/%d", o.Corrected, mislabels)
+	}
+	if o.AccAfter != 1 {
+		t.Errorf("accuracy after = %f, want 1", o.AccAfter)
+	}
+	if o.F1After != 1 {
+		t.Errorf("F1 after = %f, want 1", o.F1After)
+	}
+	if o.AccBefore >= o.AccAfter {
+		t.Error("verification should improve accuracy")
+	}
+}
+
+func TestTriageBudgetEdgeCases(t *testing.T) {
+	l, perfect, _ := fakeLabeled(50, 2)
+	zero, err := Triage(l, perfect, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Corrected != 0 || zero.AccBefore != zero.AccAfter {
+		t.Errorf("zero budget should change nothing: %+v", zero)
+	}
+	over, err := Triage(l, perfect, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Budget != 50 || over.AccAfter != 1 {
+		t.Errorf("oversized budget should clamp and fix everything: %+v", over)
+	}
+	neg, err := Triage(l, perfect, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Budget != 0 {
+		t.Errorf("negative budget should clamp to 0: %+v", neg)
+	}
+	if _, err := Triage(l, perfect[:10], 5); err == nil {
+		t.Error("misaligned risks should fail")
+	}
+}
+
+func TestBudgetCurveMonotone(t *testing.T) {
+	l, perfect, _ := fakeLabeled(300, 3)
+	budgets := []int{0, 10, 20, 40, 80, 160}
+	curve, err := BudgetCurve(l, perfect, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].AccAfter < curve[i-1].AccAfter-1e-12 {
+			t.Errorf("accuracy decreased along the budget curve at %d", i)
+		}
+		if curve[i].Corrected < curve[i-1].Corrected {
+			t.Errorf("corrections decreased along the budget curve at %d", i)
+		}
+	}
+}
+
+func TestRiskRankingBeatsRandomTriage(t *testing.T) {
+	l, perfect, random := fakeLabeled(500, 4)
+	budget := 60
+	eff, err := Efficiency(l, perfect, random, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 1 {
+		t.Errorf("perfect risk ranking efficiency %f should exceed random", eff)
+	}
+}
+
+func TestEfficiencyEdgeCases(t *testing.T) {
+	l, perfect, _ := fakeLabeled(100, 5)
+	// Identical rankings: efficiency 1.
+	eff, err := Efficiency(l, perfect, perfect, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != 1 {
+		t.Errorf("self-efficiency = %f, want 1", eff)
+	}
+	// Alternative that never finds a mislabel (all zeros, ties broken by
+	// position; construct anti-risk: 1 - perfect).
+	anti := make([]float64, len(perfect))
+	for i, p := range perfect {
+		anti[i] = 1 - p
+	}
+	eff, err = Efficiency(l, perfect, anti, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(eff, 1) && eff <= 1 {
+		t.Errorf("perfect vs anti-risk efficiency %f should be large", eff)
+	}
+}
+
+func TestMinBudgetForAccuracy(t *testing.T) {
+	l, perfect, _ := fakeLabeled(400, 6)
+	mislabels := l.MislabelCount()
+	base := 1 - float64(mislabels)/float64(len(l.Idx))
+
+	// Already above a lax target: zero budget.
+	b, ok, err := MinBudgetForAccuracy(l, perfect, base-0.01)
+	if err != nil || !ok || b != 0 {
+		t.Errorf("lax target: budget=%d ok=%v err=%v", b, ok, err)
+	}
+	// Perfect accuracy requires exactly the mislabel count under a perfect
+	// ranking.
+	b, ok, err = MinBudgetForAccuracy(l, perfect, 1.0)
+	if err != nil || !ok {
+		t.Fatalf("target 1.0: ok=%v err=%v", ok, err)
+	}
+	if b != mislabels {
+		t.Errorf("budget for perfection = %d, want %d", b, mislabels)
+	}
+	// Midway target costs less.
+	half, ok, _ := MinBudgetForAccuracy(l, perfect, base+(1-base)/2)
+	if !ok || half >= b {
+		t.Errorf("midway budget %d should be below full budget %d", half, b)
+	}
+	if _, _, err := MinBudgetForAccuracy(l, perfect[:3], 0.9); err == nil {
+		t.Error("misaligned risks should fail")
+	}
+	empty := classifier.Labeled{}
+	if _, ok, _ := MinBudgetForAccuracy(empty, nil, 0.9); ok {
+		t.Error("empty labeling cannot reach a target")
+	}
+}

@@ -1,0 +1,161 @@
+package leipzig
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	dblpCSV = `id,title,authors,venue,year
+d1,"spatial joins using r trees","t brinkhoff, h kriegel",sigmod,1993
+d2,"query optimization survey","s chaudhuri",tods,1998
+d3,"lonely paper","a nobody",vldb,1980
+`
+	scholarCSV = `id,title,authors,venue,year
+s1,"spatial joins using r-trees","t brinkhoff, h p kriegel",sigmod conference,1993
+s2,"an overview of query optimization","s chaudhuri",,1998
+s3,"spatial systems work","x other",osdi,2001
+`
+	mappingCSV = `idDBLP,idScholar
+d1,s1
+d2,s2
+`
+)
+
+func TestLoadDBLPScholarShape(t *testing.T) {
+	w, err := Load(DBLPScholar(),
+		strings.NewReader(dblpCSV),
+		strings.NewReader(scholarCSV),
+		strings.NewReader(mappingCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Left.Records) != 3 || len(w.Right.Records) != 3 {
+		t.Fatalf("records: %d left, %d right", len(w.Left.Records), len(w.Right.Records))
+	}
+	if got := w.MatchCount(); got != 2 {
+		t.Errorf("matches = %d, want 2", got)
+	}
+	// The mapping pairs must be present and labeled matching.
+	foundMapped := 0
+	for _, p := range w.Pairs {
+		l := w.Left.Records[p.Left]
+		r := w.Right.Records[p.Right]
+		if (l.ID == "d1" && r.ID == "s1") || (l.ID == "d2" && r.ID == "s2") {
+			if !p.Match {
+				t.Errorf("mapped pair %s-%s not marked match", l.ID, r.ID)
+			}
+			foundMapped++
+		}
+		// Ground truth must agree with entity components.
+		if p.Match != (l.EntityID == r.EntityID) {
+			t.Errorf("pair %s-%s label inconsistent with entities", l.ID, r.ID)
+		}
+	}
+	if foundMapped != 2 {
+		t.Errorf("found %d mapped pairs, want 2", foundMapped)
+	}
+	// Blocking should add candidate non-matches (shared tokens) without
+	// duplicating the mapped pairs.
+	if len(w.Pairs) <= 2 {
+		t.Errorf("expected blocking to add non-match candidates, got %d pairs", len(w.Pairs))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range w.Pairs {
+		key := [2]int{p.Left, p.Right}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+	// Attribute values end up under the schema's attributes.
+	d1 := w.Left.Records[0]
+	if d1.Values[0] != "spatial joins using r trees" || d1.Values[3] != "1993" {
+		t.Errorf("column mapping wrong: %v", d1.Values)
+	}
+}
+
+func TestLoadColumnRemapping(t *testing.T) {
+	// Amazon-Google style: right table calls the title column "name".
+	amazon := "id,title,manufacturer,description,price\na1,office suite,msoft,desc,100\n"
+	google := "id,name,manufacturer,description,price\ng1,office suite 2,msoft,other desc,90\n"
+	mapping := "idAmazon,idGoogleBase\na1,g1\n"
+	w, err := Load(AmazonGoogle(),
+		strings.NewReader(amazon), strings.NewReader(google), strings.NewReader(mapping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Right.Records[0].Values[0] != "office suite 2" {
+		t.Errorf("right title not remapped from 'name': %v", w.Right.Records[0].Values)
+	}
+	if w.MatchCount() != 1 {
+		t.Errorf("matches = %d, want 1", w.MatchCount())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	spec := DBLPScholar()
+	ok := func(s string) *strings.Reader { return strings.NewReader(s) }
+
+	// Mapping referencing an unknown id.
+	badMap := "a,b\nd1,missing\n"
+	if _, err := Load(spec, ok(dblpCSV), ok(scholarCSV), ok(badMap)); err == nil {
+		t.Error("unknown mapped id should fail")
+	}
+	// Missing column in the header.
+	noTitle := "id,authors,venue,year\nd1,x,y,1990\n"
+	if _, err := Load(spec, ok(noTitle), ok(scholarCSV), ok(mappingCSV)); err == nil {
+		t.Error("missing column should fail")
+	}
+	// Missing header entirely.
+	if _, err := Load(spec, ok(""), ok(scholarCSV), ok(mappingCSV)); err == nil {
+		t.Error("empty left file should fail")
+	}
+	// Bad spec: wrong number of columns.
+	badSpec := spec
+	badSpec.LeftColumns = []string{"title"}
+	if _, err := Load(badSpec, ok(dblpCSV), ok(scholarCSV), ok(mappingCSV)); err == nil {
+		t.Error("arity mismatch in spec should fail")
+	}
+	// Malformed mapping row.
+	shortMap := "a,b\nonlyone\n"
+	if _, err := Load(spec, ok(dblpCSV), ok(scholarCSV), ok(shortMap)); err == nil {
+		t.Error("short mapping row should fail")
+	}
+}
+
+func TestEntityComponentsHandleManyToMany(t *testing.T) {
+	// d1 matches s1 and s2; d2 also matches s2 — one connected component.
+	multiMap := "a,b\nd1,s1\nd1,s2\nd2,s2\n"
+	w, err := Load(DBLPScholar(),
+		strings.NewReader(dblpCSV), strings.NewReader(scholarCSV), strings.NewReader(multiMap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := func(t_ *testing.T, rec string) string {
+		for _, r := range append(w.Left.Records, w.Right.Records...) {
+			if r.ID == rec {
+				return r.EntityID
+			}
+		}
+		t_.Fatalf("record %s not found", rec)
+		return ""
+	}
+	if e(t, "d1") != e(t, "s1") || e(t, "d1") != e(t, "s2") || e(t, "d2") != e(t, "s2") {
+		t.Error("transitively mapped records should share one entity")
+	}
+	if e(t, "d3") == e(t, "d1") {
+		t.Error("unmapped record should keep its own entity")
+	}
+}
+
+func TestPresetsWellFormed(t *testing.T) {
+	for _, spec := range []Spec{DBLPScholar(), AbtBuy(), AmazonGoogle()} {
+		if len(spec.LeftColumns) != len(spec.Schema.Attrs) {
+			t.Errorf("%s: left columns mismatch", spec.Name)
+		}
+		if len(spec.RightColumns) != len(spec.Schema.Attrs) {
+			t.Errorf("%s: right columns mismatch", spec.Name)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package leipzig
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// Preset specs for the three two-table benchmarks the paper evaluates on,
+// matching the column headers of the published CSV files.
+
+// DBLPScholar returns the spec for DBLP1.csv / Scholar.csv /
+// DBLP-Scholar_perfectMapping.csv.
+func DBLPScholar() Spec {
+	schema := &dataset.Schema{Name: "dblp-scholar", Attrs: []dataset.Attr{
+		{Name: "title", Type: metrics.Text},
+		{Name: "authors", Type: metrics.EntitySet},
+		{Name: "venue", Type: metrics.EntityName},
+		{Name: "year", Type: metrics.Numeric},
+	}}
+	cols := []string{"title", "authors", "venue", "year"}
+	return Spec{
+		Name: "DS", Schema: schema,
+		LeftColumns: cols, RightColumns: cols,
+	}
+}
+
+// AbtBuy returns the spec for Abt.csv / Buy.csv /
+// abt_buy_perfectMapping.csv.
+func AbtBuy() Spec {
+	schema := &dataset.Schema{Name: "abt-buy", Attrs: []dataset.Attr{
+		{Name: "name", Type: metrics.EntityName},
+		{Name: "description", Type: metrics.Text},
+		{Name: "price", Type: metrics.Numeric},
+	}}
+	cols := []string{"name", "description", "price"}
+	return Spec{
+		Name: "AB", Schema: schema,
+		LeftColumns: cols, RightColumns: cols,
+	}
+}
+
+// AmazonGoogle returns the spec for Amazon.csv / GoogleProducts.csv /
+// Amzon_GoogleProducts_perfectMapping.csv (the published file name carries
+// the typo).
+func AmazonGoogle() Spec {
+	schema := &dataset.Schema{Name: "amazon-google", Attrs: []dataset.Attr{
+		{Name: "title", Type: metrics.Text},
+		{Name: "manufacturer", Type: metrics.EntityName},
+		{Name: "description", Type: metrics.Text},
+		{Name: "price", Type: metrics.Numeric},
+	}}
+	return Spec{
+		Name: "AG", Schema: schema,
+		// Amazon names the title column "title"; Google uses "name".
+		LeftColumns:  []string{"title", "manufacturer", "description", "price"},
+		RightColumns: []string{"name", "manufacturer", "description", "price"},
+	}
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNeedlemanWunsch(t *testing.T) {
+	if got := NeedlemanWunsch("same", "same"); !almostEq(got, 1) {
+		t.Errorf("identical = %f, want 1", got)
+	}
+	if got := NeedlemanWunsch("", ""); !almostEq(got, 1) {
+		t.Errorf("empty = %f, want 1", got)
+	}
+	if got := NeedlemanWunsch("abc", ""); !almostEq(got, 0) {
+		t.Errorf("one empty = %f, want 0", got)
+	}
+	// Fully disjoint strings floor at 0.
+	if got := NeedlemanWunsch("aaaa", "bbbb"); !almostEq(got, 0) {
+		t.Errorf("disjoint = %f, want 0", got)
+	}
+	// One substitution in four: alignment score 3-1=2? No: 3 matches (+3),
+	// 1 mismatch (-1) -> 2/4 = 0.5.
+	if got := NeedlemanWunsch("abcd", "abxd"); !almostEq(got, 0.5) {
+		t.Errorf("one mismatch = %f, want 0.5", got)
+	}
+}
+
+func TestSmithWaterman(t *testing.T) {
+	if got := SmithWaterman("same", "same"); !almostEq(got, 1) {
+		t.Errorf("identical = %f, want 1", got)
+	}
+	// Local alignment finds embedded substrings: "data" inside noise.
+	if got := SmithWaterman("data", "xxdataxx"); !almostEq(got, 1) {
+		t.Errorf("embedded = %f, want 1", got)
+	}
+	if got := SmithWaterman("aaaa", "bbbb"); !almostEq(got, 0) {
+		t.Errorf("disjoint = %f, want 0", got)
+	}
+	if got := SmithWaterman("", "x"); !almostEq(got, 0) {
+		t.Errorf("one empty = %f, want 0", got)
+	}
+}
+
+func TestAlignmentProperties(t *testing.T) {
+	for name, fn := range map[string]func(a, b string) float64{
+		"nw": NeedlemanWunsch,
+		"sw": SmithWaterman,
+	} {
+		fn := fn
+		f := func(a, b string) bool {
+			s := fn(a, b)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+			return math.Abs(s-fn(b, a)) < 1e-12
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "r163"},
+		{"Rupert", "r163"},
+		{"Ashcraft", "a261"}, // h does not reset the last code
+		{"Tymczak", "t522"},
+		{"Pfister", "p236"},
+		{"Honeyman", "h555"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Multi-token input codes the first token.
+	if got := Soundex("robert smith"); got != "r163" {
+		t.Errorf("multi-token Soundex = %q", got)
+	}
+}
+
+func TestSoundexMatch(t *testing.T) {
+	if got := SoundexMatch("robert", "rupert"); got != 1 {
+		t.Errorf("phonetic match = %f, want 1", got)
+	}
+	if got := SoundexMatch("robert", "tymczak"); got != 0 {
+		t.Errorf("phonetic mismatch = %f, want 0", got)
+	}
+	if got := SoundexMatch("", ""); got != 1 {
+		t.Errorf("both empty = %f, want 1", got)
+	}
+	if got := SoundexMatch("x", ""); got != 0 {
+		t.Errorf("one empty = %f, want 0", got)
+	}
+}
+
+func TestTFIDFJaccard(t *testing.T) {
+	corpus := NewCorpus([]string{
+		"the red camera", "the blue camera", "the green camera", "quasar drive",
+	}, 0.5)
+	// Sharing a rare token beats sharing a common one.
+	rare := TFIDFJaccard("quasar alpha", "quasar beta", corpus)
+	common := TFIDFJaccard("the alpha", "the beta", corpus)
+	if rare <= common {
+		t.Errorf("rare shared token %f should beat common %f", rare, common)
+	}
+	if got := TFIDFJaccard("a b", "a b", corpus); !almostEq(got, 1) {
+		t.Errorf("identical = %f, want 1", got)
+	}
+	if got := TFIDFJaccard("", "", corpus); !almostEq(got, 1) {
+		t.Errorf("both empty = %f, want 1", got)
+	}
+	if got := TFIDFJaccard("x", "", corpus); !almostEq(got, 0) {
+		t.Errorf("one empty = %f, want 0", got)
+	}
+	// Nil corpus degrades to plain Jaccard.
+	if got, want := TFIDFJaccard("a b c", "b c d", nil), JaccardTokens("a b c", "b c d"); !almostEq(got, want) {
+		t.Errorf("nil corpus = %f, want plain jaccard %f", got, want)
+	}
+}
+
+func TestTFIDFJaccardSymmetric(t *testing.T) {
+	corpus := NewCorpus([]string{"a b", "b c", "c d"}, 0.5)
+	f := func(a, b string) bool {
+		return math.Abs(TFIDFJaccard(a, b, corpus)-TFIDFJaccard(b, a, corpus)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import "fmt"
+
+// AttrType classifies an attribute for metric selection, following the
+// value-type hierarchy of paper Figure 5.
+type AttrType int
+
+// Attribute value types.
+const (
+	EntityName  AttrType = iota // a single entity name (product name, venue)
+	EntitySet                   // a set of entity names (author list)
+	Text                        // free text description (title, description)
+	Numeric                     // numeric value (year, price)
+	Categorical                 // small closed domain (genre, gender)
+)
+
+// String returns the lowercase name of the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case EntityName:
+		return "entity-name"
+	case EntitySet:
+		return "entity-set"
+	case Text:
+		return "text"
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(t))
+	}
+}
+
+// Kind distinguishes similarity metrics (larger = more alike) from
+// difference metrics (larger = more different).
+type Kind int
+
+// Metric kinds.
+const (
+	Similarity Kind = iota
+	Difference
+)
+
+// String returns "sim" or "diff".
+func (k Kind) String() string {
+	if k == Difference {
+		return "diff"
+	}
+	return "sim"
+}
+
+// Metric is a named basic metric bound to one attribute of a schema. Fn
+// computes the metric on the two attribute values; the Corpus (possibly nil)
+// carries corpus statistics for TF-IDF and key-token decisions.
+type Metric struct {
+	Name string // e.g. "title.cosine_tfidf" or "year.diff"
+	Attr int    // attribute index in the schema
+	Kind Kind   // similarity or difference
+	Fn   func(a, b string, c *Corpus) float64
+}
+
+// lift adapts a corpus-free binary metric to the catalog signature.
+func lift(f func(a, b string) float64) func(string, string, *Corpus) float64 {
+	return func(a, b string, _ *Corpus) float64 { return f(a, b) }
+}
+
+// ForAttribute returns the basic metrics appropriate for one attribute of
+// the given type, named with the attribute name prefix. The selection
+// follows Figure 5: every type gets similarity metrics; entity names get the
+// non-substring family, entity sets get diff-cardinality/distinct-entity,
+// text gets diff-key-token, numerics get the year/number difference.
+func ForAttribute(name string, idx int, t AttrType) []Metric {
+	mk := func(suffix string, k Kind, f func(string, string, *Corpus) float64) Metric {
+		return Metric{Name: name + "." + suffix, Attr: idx, Kind: k, Fn: f}
+	}
+	switch t {
+	case EntityName:
+		return []Metric{
+			mk("jaro_winkler", Similarity, lift(JaroWinkler)),
+			mk("edit_sim", Similarity, lift(EditSimilarity)),
+			mk("jaccard", Similarity, lift(JaccardTokens)),
+			mk("non_substring", Difference, lift(NonSubstring)),
+			mk("non_prefix", Difference, lift(NonPrefix)),
+			mk("non_suffix", Difference, lift(NonSuffix)),
+			mk("abbr_non_substring", Difference, lift(AbbrNonSubstring)),
+		}
+	case EntitySet:
+		return []Metric{
+			mk("jaccard_entities", Similarity, lift(JaccardEntities)),
+			mk("monge_elkan", Similarity, lift(SymMongeElkan)),
+			mk("diff_cardinality", Difference, lift(DiffCardinality)),
+			mk("distinct_entity", Difference, lift(DistinctEntity)),
+		}
+	case Text:
+		return []Metric{
+			mk("cosine_tfidf", Similarity, CosineTFIDF),
+			mk("jaccard", Similarity, lift(JaccardTokens)),
+			mk("lcs", Similarity, lift(LCS)),
+			mk("overlap", Similarity, lift(OverlapTokens)),
+			mk("diff_key_token", Difference, DiffKeyToken),
+		}
+	case Numeric:
+		return []Metric{
+			mk("num_sim", Similarity, lift(NumericSimilarity)),
+			mk("num_diff", Difference, lift(YearDiff)),
+			mk("num_gap", Difference, lift(NumericGap)),
+		}
+	case Categorical:
+		return []Metric{
+			mk("exact", Similarity, lift(func(a, b string) float64 {
+				if NonSubstring(a, b) == 0 {
+					return 1
+				}
+				return 0
+			})),
+			mk("diff", Difference, lift(YearDiffOrExact)),
+		}
+	default:
+		return nil
+	}
+}
+
+// YearDiffOrExact is 1 when the values differ either numerically or as
+// normalized strings (used for categorical attributes).
+func YearDiffOrExact(a, b string) float64 {
+	if d := YearDiff(a, b); d == 1 {
+		return 1
+	}
+	if EditSimilarity(a, b) < 1 {
+		return 1
+	}
+	return 0
+}
+
+// Catalog is an ordered collection of basic metrics over a schema, together
+// with the per-attribute corpora used by corpus-aware metrics.
+type Catalog struct {
+	Metrics []Metric
+	Corpora []*Corpus // indexed by attribute; nil entries allowed
+}
+
+// Compute evaluates every metric in the catalog on one record pair, given
+// the two records' attribute value slices. The result has one entry per
+// metric, in catalog order.
+func (c *Catalog) Compute(a, b []string) []float64 {
+	out := make([]float64, len(c.Metrics))
+	for i, m := range c.Metrics {
+		var corpus *Corpus
+		if m.Attr < len(c.Corpora) {
+			corpus = c.Corpora[m.Attr]
+		}
+		var va, vb string
+		if m.Attr < len(a) {
+			va = a[m.Attr]
+		}
+		if m.Attr < len(b) {
+			vb = b[m.Attr]
+		}
+		out[i] = m.Fn(va, vb, corpus)
+	}
+	return out
+}
+
+// Names returns the metric names in catalog order.
+func (c *Catalog) Names() []string {
+	names := make([]string, len(c.Metrics))
+	for i, m := range c.Metrics {
+		names[i] = m.Name
+	}
+	return names
+}

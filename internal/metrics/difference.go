@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/strutil"
+)
+
+// The difference metrics below implement the hierarchy of paper Figure 5.
+// They return 1 when a difference indicative of inequivalence is present and
+// 0 otherwise (or a count for the counting metrics), so that larger values
+// mean "more different" — the opposite orientation of similarity metrics.
+
+// NonSubstring is the entity-name difference metric: 1 if neither normalized
+// value is a substring of the other. Missing values are treated as
+// uninformative (0).
+func NonSubstring(a, b string) float64 {
+	if strutil.Normalize(a) == "" || strutil.Normalize(b) == "" {
+		return 0
+	}
+	if strutil.IsSubstring(a, b) {
+		return 0
+	}
+	return 1
+}
+
+// NonPrefix is 1 if neither normalized value is a prefix of the other.
+func NonPrefix(a, b string) float64 {
+	if strutil.Normalize(a) == "" || strutil.Normalize(b) == "" {
+		return 0
+	}
+	if strutil.IsPrefix(a, b) {
+		return 0
+	}
+	return 1
+}
+
+// NonSuffix is 1 if neither normalized value is a suffix of the other.
+func NonSuffix(a, b string) float64 {
+	if strutil.Normalize(a) == "" || strutil.Normalize(b) == "" {
+		return 0
+	}
+	if strutil.IsSuffix(a, b) {
+		return 0
+	}
+	return 1
+}
+
+// abbrPair returns the first-letter abbreviation of each value and whether
+// both are non-empty.
+func abbrPair(a, b string) (string, string, bool) {
+	aa := strutil.Abbreviation(a)
+	ab := strutil.Abbreviation(b)
+	return aa, ab, aa != "" && ab != ""
+}
+
+// AbbrNonSubstring is 1 if the first-letter abbreviation of one value is not
+// a substring of the other value's abbreviation, and the abbreviation of one
+// value is also not a substring of the other full value (covers
+// "VLDB" vs "Very Large Data Bases").
+func AbbrNonSubstring(a, b string) float64 {
+	aa, ab, ok := abbrPair(a, b)
+	if !ok {
+		return 0
+	}
+	if strings.Contains(aa, ab) || strings.Contains(ab, aa) {
+		return 0
+	}
+	// Abbreviation of one side may match the raw text of the other
+	// (e.g. a = "vldb", b = "very large data bases": abbr(b) == "vldb").
+	na, nb := strutil.Normalize(a), strutil.Normalize(b)
+	compactA := strings.ReplaceAll(na, " ", "")
+	compactB := strings.ReplaceAll(nb, " ", "")
+	if strings.Contains(compactA, ab) || strings.Contains(compactB, aa) {
+		return 0
+	}
+	return 1
+}
+
+// AbbrNonPrefix is 1 if neither abbreviation is a prefix of the other.
+func AbbrNonPrefix(a, b string) float64 {
+	aa, ab, ok := abbrPair(a, b)
+	if !ok {
+		return 0
+	}
+	if strings.HasPrefix(aa, ab) || strings.HasPrefix(ab, aa) {
+		return 0
+	}
+	return 1
+}
+
+// AbbrNonSuffix is 1 if neither abbreviation is a suffix of the other.
+func AbbrNonSuffix(a, b string) float64 {
+	aa, ab, ok := abbrPair(a, b)
+	if !ok {
+		return 0
+	}
+	if strings.HasSuffix(aa, ab) || strings.HasSuffix(ab, aa) {
+		return 0
+	}
+	return 1
+}
+
+// DiffCardinality is the entity-set difference metric: 1 if the two sets
+// contain different numbers of entity names. Empty sets are uninformative.
+func DiffCardinality(a, b string) float64 {
+	ea := strutil.SplitEntities(a)
+	eb := strutil.SplitEntities(b)
+	if len(ea) == 0 || len(eb) == 0 {
+		return 0
+	}
+	if len(ea) != len(eb) {
+		return 1
+	}
+	return 0
+}
+
+// DistinctEntity counts the entity names that appear in exactly one of the
+// two sets, with fuzzy name matching (an entity counts as shared when some
+// entity on the other side has Jaro-Winkler similarity ≥ 0.9, which absorbs
+// initials and typos). This is the paper's distinct-entity metric from
+// Example 1.
+func DistinctEntity(a, b string) float64 {
+	ea := strutil.SplitEntities(a)
+	eb := strutil.SplitEntities(b)
+	if len(ea) == 0 || len(eb) == 0 {
+		return 0
+	}
+	distinct := 0
+	distinct += countUnmatched(ea, eb)
+	distinct += countUnmatched(eb, ea)
+	return float64(distinct)
+}
+
+func countUnmatched(from, against []string) int {
+	n := 0
+	for _, e := range from {
+		matched := false
+		for _, o := range against {
+			if entityNamesMatch(e, o) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			n++
+		}
+	}
+	return n
+}
+
+// entityNamesMatch reports whether two normalized entity names plausibly
+// refer to the same entity: high string similarity, or matching surname with
+// compatible initials ("t brinkhoff" vs "thomas brinkhoff").
+func entityNamesMatch(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if JaroWinkler(a, b) >= 0.9 {
+		return true
+	}
+	ta, tb := strings.Fields(a), strings.Fields(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return false
+	}
+	// Same last token (surname) and first tokens share an initial.
+	if ta[len(ta)-1] == tb[len(tb)-1] && ta[0][0] == tb[0][0] {
+		return true
+	}
+	return false
+}
+
+// YearDiff is the numeric difference metric specialized for year-like
+// attributes: 1 if both values parse as numbers and differ, 0 otherwise.
+// It realizes the paper's running-example rule r_i[Year] != r_j[Year].
+func YearDiff(a, b string) float64 {
+	x, errA := parseNumber(a)
+	y, errB := parseNumber(b)
+	if errA != nil || errB != nil {
+		return 0
+	}
+	if x != y {
+		return 1
+	}
+	return 0
+}
+
+// NumericGap returns the relative numeric gap |x-y|/max(|x|,|y|) in [0,1];
+// 0 when either value is unparseable (uninformative) or both are zero.
+func NumericGap(a, b string) float64 {
+	x, errA := parseNumber(a)
+	y, errB := parseNumber(b)
+	if errA != nil || errB != nil {
+		return 0
+	}
+	m := math.Max(math.Abs(x), math.Abs(y))
+	if m == 0 {
+		return 0
+	}
+	g := math.Abs(x-y) / m
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// DiffKeyToken counts the key (discriminating) tokens contained by exactly
+// one of the two text values. A token is discriminating when its corpus IDF
+// is at or above the corpus's key-token threshold; with a nil corpus every
+// token of length ≥ 4 counts as key. This is the paper's diff-key-token
+// metric for text-description attributes.
+func DiffKeyToken(a, b string, c *Corpus) float64 {
+	sa := strutil.TokenSet(a)
+	sb := strutil.TokenSet(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	count := 0
+	for t := range sa {
+		if _, shared := sb[t]; !shared && isKeyToken(t, c) {
+			count++
+		}
+	}
+	for t := range sb {
+		if _, shared := sa[t]; !shared && isKeyToken(t, c) {
+			count++
+		}
+	}
+	return float64(count)
+}
+
+func isKeyToken(t string, c *Corpus) bool {
+	if c == nil {
+		return len(t) >= 4
+	}
+	return c.IsKeyToken(t)
+}

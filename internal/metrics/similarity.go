@@ -1,0 +1,374 @@
+// Package metrics implements the basic similarity and difference metrics on
+// attribute values that LearnRisk's rule generation consumes (paper Section
+// 5.1, Figure 5).
+//
+// Similarity metrics capture the common part of two values and indicate
+// equivalence; difference metrics directly capture what distinguishes two
+// values and indicate inequivalence (non-substring, distinct-entity,
+// diff-key-token, ...). All metrics return float64 so that the decision-tree
+// rule generator can threshold them uniformly.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/strutil"
+)
+
+// Levenshtein returns the edit distance between the normalized forms of a
+// and b, in rune operations (insert, delete, substitute).
+func Levenshtein(a, b string) int {
+	ra := []rune(strutil.Normalize(a))
+	rb := []rune(strutil.Normalize(b))
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity returns 1 - Levenshtein(a,b)/max(len(a),len(b)), a
+// similarity in [0,1]. Two empty values are maximally similar.
+func EditSimilarity(a, b string) float64 {
+	na := len([]rune(strutil.Normalize(a)))
+	nb := len([]rune(strutil.Normalize(b)))
+	m := na
+	if nb > m {
+		m = nb
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of the normalized values, in [0,1].
+func Jaro(a, b string) float64 {
+	ra := []rune(strutil.Normalize(a))
+	rb := []rune(strutil.Normalize(b))
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if !matchedB[j] && ra[i] == rb[j] {
+				matchedA[i] = true
+				matchedB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale of 0.1 and a maximum rewarded prefix of 4 runes.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	p := strutil.CommonPrefixLen(strutil.Normalize(a), strutil.Normalize(b))
+	if p > 4 {
+		p = 4
+	}
+	return j + float64(p)*0.1*(1-j)
+}
+
+// JaccardTokens returns the Jaccard index of the token sets of a and b.
+// Two empty token sets are maximally similar.
+func JaccardTokens(a, b string) float64 {
+	sa := strutil.TokenSet(a)
+	sb := strutil.TokenSet(b)
+	return jaccardSets(sa, sb)
+}
+
+// JaccardEntities returns the Jaccard index of the entity-name sets of two
+// entity-set values such as author lists (the paper's entity-based
+// JaccardIndex in Example 1).
+func JaccardEntities(a, b string) float64 {
+	sa := entitySet(a)
+	sb := entitySet(b)
+	return jaccardSets(sa, sb)
+}
+
+func entitySet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, e := range strutil.SplitEntities(s) {
+		set[e] = struct{}{}
+	}
+	return set
+}
+
+func jaccardSets(sa, sb map[string]struct{}) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// OverlapTokens returns |A∩B| / min(|A|,|B|) over token sets (the overlap
+// coefficient). Empty-vs-empty is 1; empty-vs-nonempty is 0.
+func OverlapTokens(a, b string) float64 {
+	sa := strutil.TokenSet(a)
+	sb := strutil.TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	return float64(inter) / float64(m)
+}
+
+// QGramJaccard returns the Jaccard index of the q-gram (q=2) sets of a and b.
+func QGramJaccard(a, b string) float64 {
+	sa := make(map[string]struct{})
+	for _, g := range strutil.QGrams(a, 2) {
+		sa[g] = struct{}{}
+	}
+	sb := make(map[string]struct{})
+	for _, g := range strutil.QGrams(b, 2) {
+		sb[g] = struct{}{}
+	}
+	return jaccardSets(sa, sb)
+}
+
+// LCS returns the length of the longest common subsequence of the normalized
+// values, normalized by the length of the longer value, yielding [0,1].
+func LCS(a, b string) float64 {
+	ra := []rune(strutil.Normalize(a))
+	rb := []rune(strutil.Normalize(b))
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for k := range cur {
+			cur[k] = 0
+		}
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return float64(prev[lb]) / float64(m)
+}
+
+// MongeElkan returns the Monge-Elkan similarity: the average over tokens of a
+// of the best Jaro-Winkler match against tokens of b. Asymmetric by
+// definition; SymMongeElkan averages both directions.
+func MongeElkan(a, b string) float64 {
+	ta := strutil.Tokens(a)
+	tb := strutil.Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// SymMongeElkan is the symmetric mean of MongeElkan in both directions.
+func SymMongeElkan(a, b string) float64 {
+	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+}
+
+// NumericSimilarity parses a and b as numbers and returns
+// 1 - |x-y|/max(|x|,|y|), clamped to [0,1]. Unparseable or absent values
+// yield 0 unless both are absent (1: vacuously equal).
+func NumericSimilarity(a, b string) float64 {
+	x, errA := parseNumber(a)
+	y, errB := parseNumber(b)
+	if errA != nil && errB != nil {
+		return 1
+	}
+	if errA != nil || errB != nil {
+		return 0
+	}
+	if x == y {
+		return 1
+	}
+	m := math.Max(math.Abs(x), math.Abs(y))
+	if m == 0 {
+		return 1
+	}
+	s := 1 - math.Abs(x-y)/m
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+func parseNumber(s string) (float64, error) {
+	cleaned := strings.TrimSpace(strings.NewReplacer("$", "", ",", "", "£", "", "€", "").Replace(s))
+	return strconv.ParseFloat(cleaned, 64)
+}
+
+// CosineTFIDF returns the TF-IDF-weighted cosine similarity of the token
+// vectors of a and b under the supplied corpus statistics. A nil corpus
+// degrades to uniform IDF (plain cosine).
+func CosineTFIDF(a, b string, c *Corpus) float64 {
+	ca := strutil.TokenCounts(a)
+	cb := strutil.TokenCounts(b)
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	if len(ca) == 0 || len(cb) == 0 {
+		return 0
+	}
+	// Accumulate in sorted token order: float addition is not associative,
+	// and map iteration order would make the result run-dependent, breaking
+	// the repository's bit-reproducibility guarantee.
+	dot, na, nb := 0.0, 0.0, 0.0
+	for _, t := range sortedKeys(ca) {
+		w := idfWeight(c, t)
+		va := float64(ca[t]) * w
+		na += va * va
+		if fb, ok := cb[t]; ok {
+			dot += va * float64(fb) * w
+		}
+	}
+	for _, t := range sortedKeys(cb) {
+		w := idfWeight(c, t)
+		vb := float64(cb[t]) * w
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func idfWeight(c *Corpus, token string) float64 {
+	if c == nil {
+		return 1
+	}
+	return c.IDF(token)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

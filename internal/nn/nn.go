@@ -1,0 +1,338 @@
+// Package nn implements a small dense feedforward neural network with
+// backpropagation, the substrate for the repository's DeepMatcher
+// substitute (see DESIGN.md "Substitutions"). It supports ReLU/sigmoid/tanh
+// activations, SGD with momentum and Adam, inverted dropout, L2 weight
+// decay and binary cross-entropy loss — enough to train a realistic,
+// imperfect probabilistic ER classifier on similarity feature vectors.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Sigmoid
+	Tanh
+	Linear
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return stats.Sigmoid(x)
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// grad returns the derivative given the activation output y (all supported
+// activations admit a derivative in terms of their output).
+func (a Activation) grad(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Layer is one dense layer: Out = act(W·In + B).
+type Layer struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // Out x In, row-major
+	B       []float64 // Out
+
+	// Adam moments (lazily sized by the optimizer).
+	mW, vW, mB, vB []float64
+}
+
+// Config describes a network and its training hyperparameters.
+type Config struct {
+	Inputs  int
+	Hidden  []int   // hidden layer widths; output layer (width 1) is implicit
+	LR      float64 // learning rate (default 0.01)
+	Epochs  int     // training epochs (default 50)
+	Batch   int     // minibatch size (default 32)
+	L2      float64 // weight decay
+	Dropout float64 // inverted dropout on hidden layers
+	Adam    bool    // Adam instead of SGD+momentum
+	Seed    uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 50
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Network is a feedforward binary classifier: hidden layers with the
+// configured activation and a sigmoid output unit producing a probability.
+type Network struct {
+	cfg    Config
+	layers []*Layer
+	rng    *stats.RNG
+	step   int // Adam timestep
+}
+
+// New constructs a network with He-style initialization, deterministic in
+// cfg.Seed.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Inputs <= 0 {
+		return nil, errors.New("nn: Inputs must be positive")
+	}
+	if cfg.Dropout < 0 || cfg.Dropout >= 1 {
+		return nil, fmt.Errorf("nn: Dropout %v out of [0,1)", cfg.Dropout)
+	}
+	n := &Network{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	widths := append([]int{cfg.Inputs}, cfg.Hidden...)
+	widths = append(widths, 1)
+	for i := 1; i < len(widths); i++ {
+		act := ReLU
+		if i == len(widths)-1 {
+			act = Sigmoid
+		}
+		l := &Layer{In: widths[i-1], Out: widths[i], Act: act}
+		l.W = make([]float64, l.In*l.Out)
+		l.B = make([]float64, l.Out)
+		scale := math.Sqrt(2 / float64(l.In))
+		for j := range l.W {
+			l.W[j] = n.rng.Norm() * scale
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}
+
+// forward runs the network, keeping per-layer activations for backprop.
+// When train is true, inverted dropout masks hidden activations.
+func (n *Network) forward(x []float64, train bool) (acts [][]float64, masks [][]float64) {
+	acts = make([][]float64, len(n.layers)+1)
+	acts[0] = x
+	if train && n.cfg.Dropout > 0 {
+		masks = make([][]float64, len(n.layers))
+	}
+	cur := x
+	for li, l := range n.layers {
+		out := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			out[o] = l.Act.apply(s)
+		}
+		if masks != nil && li < len(n.layers)-1 {
+			mask := make([]float64, l.Out)
+			keep := 1 - n.cfg.Dropout
+			for o := range out {
+				if n.rng.Float64() < keep {
+					mask[o] = 1 / keep
+				}
+				out[o] *= mask[o]
+			}
+			masks[li] = mask
+		}
+		acts[li+1] = out
+		cur = out
+	}
+	return acts, masks
+}
+
+// Predict returns the probability that x belongs to the positive class.
+func (n *Network) Predict(x []float64) float64 {
+	acts, _ := n.forward(x, false)
+	return acts[len(acts)-1][0]
+}
+
+// PredictBatch returns probabilities for each row of xs.
+func (n *Network) PredictBatch(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = n.Predict(x)
+	}
+	return out
+}
+
+// Hidden returns the activations of the last hidden layer for x, or the
+// input itself when the network has no hidden layers. The TrustScore
+// baseline clusters in this representation space.
+func (n *Network) Hidden(x []float64) []float64 {
+	acts, _ := n.forward(x, false)
+	if len(acts) < 2 {
+		return x
+	}
+	h := acts[len(acts)-2]
+	out := make([]float64, len(h))
+	copy(out, h)
+	return out
+}
+
+// Fit trains the network on (xs, ys) with ys in {0,1}, minimizing binary
+// cross-entropy. Class weights may be supplied to counter ER's imbalance;
+// nil means uniform.
+func (n *Network) Fit(xs [][]float64, ys []float64, weights []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("nn: %d inputs vs %d labels", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return errors.New("nn: empty training set")
+	}
+	for _, x := range xs {
+		if len(x) != n.cfg.Inputs {
+			return fmt.Errorf("nn: input width %d, want %d", len(x), n.cfg.Inputs)
+		}
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		n.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += n.cfg.Batch {
+			end := start + n.cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			n.trainBatch(xs, ys, weights, idx[start:end])
+		}
+	}
+	return nil
+}
+
+// trainBatch accumulates gradients over the batch and applies one update.
+func (n *Network) trainBatch(xs [][]float64, ys, weights []float64, batch []int) {
+	gradW := make([][]float64, len(n.layers))
+	gradB := make([][]float64, len(n.layers))
+	for li, l := range n.layers {
+		gradW[li] = make([]float64, len(l.W))
+		gradB[li] = make([]float64, len(l.B))
+	}
+	for _, i := range batch {
+		acts, masks := n.forward(xs[i], true)
+		wgt := 1.0
+		if weights != nil {
+			wgt = weights[i]
+		}
+		// Output delta for sigmoid + BCE: (p - y).
+		p := acts[len(acts)-1][0]
+		delta := []float64{(p - ys[i]) * wgt}
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			l := n.layers[li]
+			in := acts[li]
+			for o := 0; o < l.Out; o++ {
+				gradB[li][o] += delta[o]
+				row := gradW[li][o*l.In : (o+1)*l.In]
+				for j, v := range in {
+					row[j] += delta[o] * v
+				}
+			}
+			if li == 0 {
+				break
+			}
+			prev := n.layers[li-1]
+			nd := make([]float64, prev.Out)
+			for j := 0; j < prev.Out; j++ {
+				s := 0.0
+				for o := 0; o < l.Out; o++ {
+					s += l.W[o*l.In+j] * delta[o]
+				}
+				g := prev.Act.grad(acts[li][j])
+				if masks != nil && masks[li-1] != nil {
+					g *= masks[li-1][j]
+				}
+				nd[j] = s * g
+			}
+			delta = nd
+		}
+	}
+	scale := 1 / float64(len(batch))
+	n.step++
+	for li, l := range n.layers {
+		n.applyUpdate(l, gradW[li], gradB[li], scale)
+	}
+}
+
+func (n *Network) applyUpdate(l *Layer, gW, gB []float64, scale float64) {
+	lr := n.cfg.LR
+	if n.cfg.Adam {
+		if l.mW == nil {
+			l.mW = make([]float64, len(l.W))
+			l.vW = make([]float64, len(l.W))
+			l.mB = make([]float64, len(l.B))
+			l.vB = make([]float64, len(l.B))
+		}
+		const b1, b2, eps = 0.9, 0.999, 1e-8
+		t := float64(n.step)
+		corr1 := 1 - math.Pow(b1, t)
+		corr2 := 1 - math.Pow(b2, t)
+		for j := range l.W {
+			g := gW[j]*scale + n.cfg.L2*l.W[j]
+			l.mW[j] = b1*l.mW[j] + (1-b1)*g
+			l.vW[j] = b2*l.vW[j] + (1-b2)*g*g
+			l.W[j] -= lr * (l.mW[j] / corr1) / (math.Sqrt(l.vW[j]/corr2) + eps)
+		}
+		for j := range l.B {
+			g := gB[j] * scale
+			l.mB[j] = b1*l.mB[j] + (1-b1)*g
+			l.vB[j] = b2*l.vB[j] + (1-b2)*g*g
+			l.B[j] -= lr * (l.mB[j] / corr1) / (math.Sqrt(l.vB[j]/corr2) + eps)
+		}
+		return
+	}
+	for j := range l.W {
+		l.W[j] -= lr * (gW[j]*scale + n.cfg.L2*l.W[j])
+	}
+	for j := range l.B {
+		l.B[j] -= lr * gB[j] * scale
+	}
+}
+
+// Loss returns the mean binary cross-entropy of the network on (xs, ys).
+func (n *Network) Loss(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i, x := range xs {
+		p := n.Predict(x)
+		p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+		sum += -ys[i]*math.Log(p) - (1-ys[i])*math.Log(1-p)
+	}
+	return sum / float64(len(xs))
+}

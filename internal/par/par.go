@@ -1,0 +1,50 @@
+// Package par provides the small data-parallel loop used by the hot paths
+// of feature extraction: each index is processed exactly once by a bounded
+// pool of goroutines, writes go to disjoint slots, and the result is
+// bit-identical to the serial loop (order-independent per-slot writes).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallel is the slice size below which the serial loop wins; the
+// goroutine setup cost dominates under it.
+const minParallel = 64
+
+// For runs fn(i) for every i in [0, n), using up to GOMAXPROCS workers for
+// large n and the plain loop for small n. fn must only write to state owned
+// by index i.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < minParallel || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,48 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 63, 64, 65, 1000, 10_000} {
+		counts := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForMatchesSerialResult(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%500) + 500
+		parallel := make([]int64, n)
+		serial := make([]int64, n)
+		For(n, func(i int) { parallel[i] = int64(i) * seed })
+		for i := 0; i < n; i++ {
+			serial[i] = int64(i) * seed
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForNegativeN(t *testing.T) {
+	called := false
+	For(-3, func(i int) { called = true })
+	if called {
+		t.Error("negative n should not invoke fn")
+	}
+}

@@ -1,0 +1,203 @@
+// Package rules defines the interpretable rule representation shared by the
+// one-sided risk-feature generator (paper Section 5) and the two-sided
+// labeling rules of the HoloClean comparison (Section 7.3). A rule is a
+// conjunction of threshold predicates over basic metric values, with a
+// right-hand-side class; one-sided rules are the paper's risk features.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/par"
+)
+
+// Op is a comparison operator in a predicate.
+type Op int
+
+// Predicate operators. Thresholding a metric value m: LE means m <= T,
+// GT means m > T.
+const (
+	LE Op = iota
+	GT
+)
+
+// String returns "<=" or ">".
+func (o Op) String() string {
+	if o == GT {
+		return ">"
+	}
+	return "<="
+}
+
+// Predicate is one atomic condition: metric[Metric] Op Threshold.
+type Predicate struct {
+	Metric    int    // index into the metric matrix column space
+	Name      string // metric name for rendering, e.g. "year.num_diff"
+	Op        Op
+	Threshold float64
+}
+
+// Holds reports whether the predicate holds on the metric vector x.
+func (p Predicate) Holds(x []float64) bool {
+	if p.Metric >= len(x) {
+		return false
+	}
+	if p.Op == GT {
+		return x[p.Metric] > p.Threshold
+	}
+	return x[p.Metric] <= p.Threshold
+}
+
+// String renders the predicate, e.g. "year.num_diff > 0.500".
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %.3f", p.Name, p.Op, p.Threshold)
+}
+
+// Rule is a conjunction of predicates implying a class. For one-sided rules
+// (risk features) the implication is one-directional: a pair that satisfies
+// the LHS very likely has the RHS class; nothing is implied otherwise
+// (paper Section 5, "one-sidedness").
+type Rule struct {
+	Predicates []Predicate
+	Match      bool    // RHS class: true = matching, false = unmatching
+	Support    int     // training pairs satisfying the LHS
+	Purity     float64 // fraction of the support carrying the RHS class
+}
+
+// Fires reports whether every predicate holds on the metric vector x.
+func (r *Rule) Fires(x []float64) bool {
+	for _, p := range r.Predicates {
+		if !p.Holds(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule as "p1 ∧ p2 → matching [support=…, purity=…]".
+func (r *Rule) String() string {
+	parts := make([]string, len(r.Predicates))
+	for i, p := range r.Predicates {
+		parts[i] = p.String()
+	}
+	rhs := "unmatching"
+	if r.Match {
+		rhs = "matching"
+	}
+	return fmt.Sprintf("%s -> %s [support=%d purity=%.3f]",
+		strings.Join(parts, " AND "), rhs, r.Support, r.Purity)
+}
+
+// key returns a canonical identity for deduplication: the sorted predicate
+// set plus the class.
+func (r *Rule) key() string {
+	parts := make([]string, len(r.Predicates))
+	for i, p := range r.Predicates {
+		parts[i] = fmt.Sprintf("%d|%d|%.9f", p.Metric, p.Op, p.Threshold)
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("%v;%s", r.Match, strings.Join(parts, ";"))
+}
+
+// Dedup removes duplicate rules (same predicate set and class), keeping the
+// occurrence with the larger support. Order is deterministic: by descending
+// support, then by rendered text.
+func Dedup(rs []Rule) []Rule {
+	best := make(map[string]Rule)
+	for _, r := range rs {
+		k := r.key()
+		if cur, ok := best[k]; !ok || r.Support > cur.Support {
+			best[k] = r
+		}
+	}
+	out := make([]Rule, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// Matrix computes the raw basic-metric matrix for the given pair indices of
+// a workload: one row per pair, one column per catalog metric. Rule
+// thresholds are expressed in this raw space (e.g. distinct_entity > 0.5
+// means "at least one distinct author"). Rows are computed in parallel;
+// the result is identical to the serial loop.
+func Matrix(w *dataset.Workload, cat *metrics.Catalog, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	par.For(len(idx), func(k int) {
+		a, b := w.Values(idx[k])
+		out[k] = cat.Compute(a, b)
+	})
+	return out
+}
+
+// Apply evaluates every rule on every metric-vector row and returns the
+// firing sets: fired[i] lists the indices of the rules that fire on row i.
+func Apply(rs []Rule, X [][]float64) [][]int {
+	fired := make([][]int, len(X))
+	for i, x := range X {
+		for j := range rs {
+			if rs[j].Fires(x) {
+				fired[i] = append(fired[i], j)
+			}
+		}
+	}
+	return fired
+}
+
+// Stat summarizes a rule's behaviour on a labeled sample: how many rows it
+// fires on and the Laplace-smoothed match rate among them. The risk model
+// uses the smoothed rate as the rule's distribution expectation mu_f
+// (paper Section 6.2.1).
+type Stat struct {
+	Support   int
+	Matches   int
+	MatchRate float64 // (Matches+1)/(Support+2)
+}
+
+// Stats computes per-rule statistics over (X, y).
+func Stats(rs []Rule, X [][]float64, y []bool) []Stat {
+	out := make([]Stat, len(rs))
+	for i, x := range X {
+		for j := range rs {
+			if rs[j].Fires(x) {
+				out[j].Support++
+				if y[i] {
+					out[j].Matches++
+				}
+			}
+		}
+	}
+	for j := range out {
+		out[j].MatchRate = (float64(out[j].Matches) + 1) / (float64(out[j].Support) + 2)
+	}
+	return out
+}
+
+// Coverage returns the fraction of rows on which at least one rule fires —
+// the "high-coverage" desideratum of Section 4.1.
+func Coverage(rs []Rule, X [][]float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, x := range X {
+		for j := range rs {
+			if rs[j].Fires(x) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(X))
+}

@@ -1,0 +1,94 @@
+package stats
+
+import "math"
+
+// RNG is a small deterministic pseudo-random number generator
+// (SplitMix64-based) used across the repository wherever reproducible
+// randomness is needed: dataset generation, bootstrap sampling, network
+// initialization and training-pair sampling. Having our own keeps every
+// experiment bit-reproducible regardless of Go version changes to math/rand.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Seed 0 is remapped so the
+// zero value still produces a usable stream.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0,n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard-normal variate via the Box-Muller transform.
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a pseudo-random permutation of [0,n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct indices drawn uniformly from [0,n) in random
+// order. When k >= n it returns a full permutation.
+func (r *RNG) Sample(n, k int) []int {
+	if k >= n {
+		return r.Perm(n)
+	}
+	return r.Perm(n)[:k]
+}
+
+// Bootstrap returns n indices drawn uniformly with replacement from [0,n),
+// the resampling scheme used by the Uncertainty baseline's classifier
+// ensemble.
+func (r *RNG) Bootstrap(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = r.Intn(n)
+	}
+	return idx
+}

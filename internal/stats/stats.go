@@ -1,0 +1,362 @@
+// Package stats implements the probability distributions and descriptive
+// statistics that the risk model builds on: the normal distribution (pdf,
+// cdf, quantile), the truncated normal on an interval (used to keep
+// equivalence probabilities in [0,1], paper Section 4.2), and the Beta
+// distribution (used by the StaticRisk baseline's Bayesian inference).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sqrt2 and related constants used by the normal distribution.
+const (
+	sqrt2   = math.Sqrt2
+	sqrt2Pi = 2.50662827463100050241576528481104525 // sqrt(2*pi)
+)
+
+// NormalPDF returns the density of N(mu, sigma^2) at x. A non-positive sigma
+// yields a point mass approximation: +Inf at x==mu, 0 elsewhere.
+func NormalPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x == mu {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * sqrt2Pi)
+}
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma^2). A non-positive sigma
+// degenerates to the step function at mu.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*sqrt2))
+}
+
+// NormalQuantile returns the p-quantile of N(mu, sigma^2). p is clamped to
+// (0,1) at 1e-12 from each end so callers can pass 0/1 safely.
+func NormalQuantile(p, mu, sigma float64) float64 {
+	p = clampProb(p)
+	if sigma <= 0 {
+		return mu
+	}
+	return mu + sigma*sqrt2*math.Erfinv(2*p-1)
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// TruncNormal is a normal distribution truncated to [Lo, Hi]. The zero value
+// is not usable; construct with NewTruncNormal.
+type TruncNormal struct {
+	Mu, Sigma float64
+	Lo, Hi    float64
+	cdfLo     float64 // Phi((Lo-Mu)/Sigma)
+	cdfHi     float64 // Phi((Hi-Mu)/Sigma)
+}
+
+// NewTruncNormal constructs the truncation of N(mu, sigma^2) to [lo, hi].
+// It returns an error when lo >= hi. sigma <= 0 is accepted and treated as a
+// point mass at clamp(mu, lo, hi).
+func NewTruncNormal(mu, sigma, lo, hi float64) (*TruncNormal, error) {
+	if lo >= hi {
+		return nil, errors.New("stats: truncation interval is empty")
+	}
+	t := &TruncNormal{Mu: mu, Sigma: sigma, Lo: lo, Hi: hi}
+	if sigma > 0 {
+		t.cdfLo = NormalCDF(lo, mu, sigma)
+		t.cdfHi = NormalCDF(hi, mu, sigma)
+	}
+	return t, nil
+}
+
+// CDF returns P(X <= x) under the truncated distribution.
+func (t *TruncNormal) CDF(x float64) float64 {
+	if x <= t.Lo {
+		return 0
+	}
+	if x >= t.Hi {
+		return 1
+	}
+	if t.Sigma <= 0 {
+		point := math.Min(math.Max(t.Mu, t.Lo), t.Hi)
+		if x < point {
+			return 0
+		}
+		return 1
+	}
+	denom := t.cdfHi - t.cdfLo
+	if denom <= 0 {
+		// The untruncated mass in [Lo,Hi] underflowed; fall back to the
+		// nearest boundary point mass.
+		point := math.Min(math.Max(t.Mu, t.Lo), t.Hi)
+		if x < point {
+			return 0
+		}
+		return 1
+	}
+	return (NormalCDF(x, t.Mu, t.Sigma) - t.cdfLo) / denom
+}
+
+// Quantile returns the p-quantile of the truncated distribution, always
+// inside [Lo, Hi].
+func (t *TruncNormal) Quantile(p float64) float64 {
+	p = clampProb(p)
+	if t.Sigma <= 0 {
+		return math.Min(math.Max(t.Mu, t.Lo), t.Hi)
+	}
+	denom := t.cdfHi - t.cdfLo
+	if denom <= 0 {
+		return math.Min(math.Max(t.Mu, t.Lo), t.Hi)
+	}
+	x := NormalQuantile(t.cdfLo+p*denom, t.Mu, t.Sigma)
+	return math.Min(math.Max(x, t.Lo), t.Hi)
+}
+
+// Mean returns the mean of the truncated distribution.
+func (t *TruncNormal) Mean() float64 {
+	if t.Sigma <= 0 {
+		return math.Min(math.Max(t.Mu, t.Lo), t.Hi)
+	}
+	denom := t.cdfHi - t.cdfLo
+	if denom <= 0 {
+		return math.Min(math.Max(t.Mu, t.Lo), t.Hi)
+	}
+	a := (t.Lo - t.Mu) / t.Sigma
+	b := (t.Hi - t.Mu) / t.Sigma
+	return t.Mu + t.Sigma*(NormalPDF(a, 0, 1)-NormalPDF(b, 0, 1))/denom
+}
+
+// Beta is a Beta(Alpha, Beta) distribution over [0,1], used by the
+// StaticRisk baseline for Bayesian posterior inference on equivalence
+// probabilities.
+type Beta struct {
+	Alpha, Beta float64
+}
+
+// NewBeta returns the Beta distribution with the given shape parameters,
+// or an error when either is non-positive.
+func NewBeta(alpha, beta float64) (*Beta, error) {
+	if alpha <= 0 || beta <= 0 {
+		return nil, errors.New("stats: beta shape parameters must be positive")
+	}
+	return &Beta{Alpha: alpha, Beta: beta}, nil
+}
+
+// Mean returns alpha/(alpha+beta).
+func (b *Beta) Mean() float64 { return b.Alpha / (b.Alpha + b.Beta) }
+
+// Variance returns the Beta variance.
+func (b *Beta) Variance() float64 {
+	s := b.Alpha + b.Beta
+	return b.Alpha * b.Beta / (s * s * (s + 1))
+}
+
+// CDF returns the regularized incomplete beta function I_x(alpha, beta),
+// computed with the continued-fraction expansion (Numerical Recipes betacf).
+func (b *Beta) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(b.Alpha+b.Beta) - lgamma(b.Alpha) - lgamma(b.Beta)
+	front := math.Exp(lbeta + b.Alpha*math.Log(x) + b.Beta*math.Log(1-x))
+	if x < (b.Alpha+1)/(b.Alpha+b.Beta+2) {
+		return front * betacf(b.Alpha, b.Beta, x) / b.Alpha
+	}
+	return 1 - front*betacf(b.Beta, b.Alpha, 1-x)/b.Beta
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Quantile returns the p-quantile of the Beta distribution by bisection on
+// the CDF (the CDF is monotone and continuous on [0,1]).
+func (b *Beta) Quantile(p float64) float64 {
+	p = clampProb(p)
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if b.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CVaR returns the conditional value at risk at confidence level theta: the
+// expected value of X given X >= Quantile(theta), estimated by averaging the
+// quantile function over [theta, 1] (32-point midpoint rule). This is the
+// risk metric used by the StaticRisk baseline [14].
+func (b *Beta) CVaR(theta float64) float64 {
+	theta = clampProb(theta)
+	const n = 32
+	step := (1 - theta) / n
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += b.Quantile(theta + (float64(i)+0.5)*step)
+	}
+	return sum / n
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile of xs using linear interpolation between
+// order statistics. It returns 0 for an empty slice. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Sigmoid returns 1/(1+e^-x), computed stably for large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Softplus returns log(1+e^x), computed stably for large |x|. Its value is
+// always positive, which is why the risk model uses it to parametrize
+// weights and RSDs.
+func Softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// SoftplusInv returns the x with Softplus(x) == y, for y > 0.
+func SoftplusInv(y float64) float64 {
+	if y > 30 {
+		return y
+	}
+	return math.Log(math.Expm1(y))
+}
+
+// SoftplusGrad returns d/dx Softplus(x) = Sigmoid(x).
+func SoftplusGrad(x float64) float64 { return Sigmoid(x) }

@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestNormalPDFCDF(t *testing.T) {
+	approx(t, "pdf(0;0,1)", NormalPDF(0, 0, 1), 0.3989422804, 1e-9)
+	approx(t, "cdf(0;0,1)", NormalCDF(0, 0, 1), 0.5, 1e-12)
+	approx(t, "cdf(1.96;0,1)", NormalCDF(1.96, 0, 1), 0.9750021, 1e-6)
+	approx(t, "cdf(-1.2816;0,1)", NormalCDF(-1.2815515655, 0, 1), 0.1, 1e-8)
+	// Degenerate sigma behaves as a step.
+	if NormalCDF(0.9, 1, 0) != 0 || NormalCDF(1.1, 1, 0) != 1 {
+		t.Error("degenerate CDF should be a step at mu")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		x := NormalQuantile(p, 2, 3)
+		approx(t, "cdf(quantile)", NormalCDF(x, 2, 3), p, 1e-9)
+	}
+	approx(t, "z(0.9)", NormalQuantile(0.9, 0, 1), 1.2815515655, 1e-8)
+}
+
+func TestNormalQuantileMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa, 0, 1) <= NormalQuantile(pb, 0, 1)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncNormal(t *testing.T) {
+	tn, err := NewTruncNormal(0.5, 0.2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric around 0.5: median is 0.5.
+	approx(t, "median", tn.Quantile(0.5), 0.5, 1e-9)
+	approx(t, "mean", tn.Mean(), 0.5, 1e-9)
+	if q := tn.Quantile(0.999999); q > 1 {
+		t.Errorf("quantile exceeds Hi: %g", q)
+	}
+	if q := tn.Quantile(1e-9); q < 0 {
+		t.Errorf("quantile below Lo: %g", q)
+	}
+	// Heavily shifted distribution: mass clamps near the boundary.
+	tn2, _ := NewTruncNormal(3, 0.1, 0, 1)
+	if q := tn2.Quantile(0.5); q < 0.99 {
+		t.Errorf("shifted quantile = %g, want ~1", q)
+	}
+	// Degenerate interval rejected.
+	if _, err := NewTruncNormal(0, 1, 1, 1); err == nil {
+		t.Error("expected error for empty interval")
+	}
+}
+
+func TestTruncNormalCDFQuantileRoundTrip(t *testing.T) {
+	tn, _ := NewTruncNormal(0.3, 0.15, 0, 1)
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x := tn.Quantile(p)
+		approx(t, "roundtrip", tn.CDF(x), p, 1e-6)
+	}
+}
+
+func TestTruncNormalDegenerateSigma(t *testing.T) {
+	tn, _ := NewTruncNormal(0.7, 0, 0, 1)
+	approx(t, "point quantile", tn.Quantile(0.4), 0.7, 0)
+	approx(t, "point mean", tn.Mean(), 0.7, 0)
+	if tn.CDF(0.69) != 0 || tn.CDF(0.71) != 1 {
+		t.Error("point-mass CDF should step at mu")
+	}
+}
+
+func TestBeta(t *testing.T) {
+	b, err := NewBeta(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "mean", b.Mean(), 0.4, 1e-12)
+	approx(t, "variance", b.Variance(), 0.04, 1e-12)
+	// Beta(2,3) CDF at 0.5 = 0.6875 (analytic).
+	approx(t, "cdf(0.5)", b.CDF(0.5), 0.6875, 1e-9)
+	// Uniform special case Beta(1,1): CDF(x)=x.
+	u, _ := NewBeta(1, 1)
+	for _, x := range []float64{0.1, 0.42, 0.9} {
+		approx(t, "uniform cdf", u.CDF(x), x, 1e-9)
+	}
+	if _, err := NewBeta(0, 1); err == nil {
+		t.Error("expected error for non-positive shape")
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	b, _ := NewBeta(5, 2)
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
+		x := b.Quantile(p)
+		approx(t, "beta roundtrip", b.CDF(x), p, 1e-8)
+	}
+}
+
+func TestBetaCVaR(t *testing.T) {
+	b, _ := NewBeta(2, 2)
+	cvar := b.CVaR(0.9)
+	q90 := b.Quantile(0.9)
+	if cvar < q90 {
+		t.Errorf("CVaR(0.9)=%g must be >= VaR(0.9)=%g", cvar, q90)
+	}
+	if cvar > 1 {
+		t.Errorf("CVaR exceeds support: %g", cvar)
+	}
+	// Higher confidence -> higher CVaR.
+	if b.CVaR(0.95) < cvar {
+		t.Error("CVaR should be nondecreasing in theta")
+	}
+}
+
+func TestDescriptiveStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	approx(t, "mean", Mean(xs), 2.5, 1e-12)
+	approx(t, "variance", Variance(xs), 1.25, 1e-12)
+	approx(t, "stddev", StdDev(xs), math.Sqrt(1.25), 1e-12)
+	approx(t, "q0", Quantile(xs, 0), 1, 0)
+	approx(t, "q1", Quantile(xs, 1), 4, 0)
+	approx(t, "median", Quantile(xs, 0.5), 2.5, 1e-12)
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty-input conventions violated")
+	}
+}
+
+func TestSigmoidSoftplus(t *testing.T) {
+	approx(t, "sigmoid(0)", Sigmoid(0), 0.5, 1e-12)
+	approx(t, "sigmoid(100)", Sigmoid(100), 1, 1e-12)
+	approx(t, "sigmoid(-100)", Sigmoid(-100), 0, 1e-12)
+	approx(t, "softplus(0)", Softplus(0), math.Ln2, 1e-12)
+	f := func(x float64) bool {
+		x = math.Mod(x, 50)
+		if math.IsNaN(x) {
+			return true
+		}
+		sp := Softplus(x)
+		if sp <= 0 {
+			return false
+		}
+		// Inverse round-trips.
+		return math.Abs(Softplus(SoftplusInv(sp))-sp) < 1e-6*(1+sp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Gradient equals sigmoid.
+	approx(t, "softplus'(1.3)", SoftplusGrad(1.3), Sigmoid(1.3), 0)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+	// Seed 0 must still work.
+	z := NewRNG(0)
+	if z.Uint64() == z.Uint64() {
+		t.Error("seed-0 stream looks constant")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	approx(t, "uniform mean", sum/float64(n), 0.5, 0.01)
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("digit %d count %d deviates too much", d, c)
+		}
+	}
+}
+
+func TestRNGNorm(t *testing.T) {
+	r := NewRNG(11)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	approx(t, "norm mean", Mean(xs), 0, 0.02)
+	approx(t, "norm stddev", StdDev(xs), 1, 0.02)
+}
+
+func TestRNGPermSampleBootstrap(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	s := r.Sample(100, 5)
+	if len(s) != 5 {
+		t.Fatalf("Sample returned %d items", len(s))
+	}
+	distinct := map[int]bool{}
+	for _, v := range s {
+		distinct[v] = true
+	}
+	if len(distinct) != 5 {
+		t.Error("Sample must return distinct indices")
+	}
+	if got := r.Sample(3, 10); len(got) != 3 {
+		t.Errorf("Sample(k>=n) length = %d, want 3", len(got))
+	}
+	bs := r.Bootstrap(50)
+	if len(bs) != 50 {
+		t.Fatalf("Bootstrap length = %d", len(bs))
+	}
+	for _, v := range bs {
+		if v < 0 || v >= 50 {
+			t.Fatalf("bootstrap index out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,154 @@
+// Package strutil provides string normalization and tokenization primitives
+// shared by the similarity and difference metrics used for entity resolution.
+//
+// All helpers are pure functions over plain strings so they can be exercised
+// by property-based tests and reused by every metric without hidden state.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lowercases s, replaces punctuation with spaces and collapses
+// runs of whitespace into single spaces. It is the canonical preprocessing
+// step applied to every attribute value before metric computation.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Tokens splits s (after normalization) into its whitespace-separated tokens.
+// The result is never nil; an empty or all-punctuation input yields an empty
+// slice.
+func Tokens(s string) []string {
+	n := Normalize(s)
+	if n == "" {
+		return []string{}
+	}
+	return strings.Fields(n)
+}
+
+// TokenSet returns the set of distinct tokens of s.
+func TokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range Tokens(s) {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// TokenCounts returns the multiset of tokens of s as a token→count map.
+func TokenCounts(s string) map[string]int {
+	counts := make(map[string]int)
+	for _, t := range Tokens(s) {
+		counts[t]++
+	}
+	return counts
+}
+
+// Abbreviation returns the first-letter abbreviation of s: the concatenation
+// of the first rune of each token. "Very Large Data Bases" → "vldb".
+// Used by the abbr-non-substring/-prefix/-suffix difference metrics.
+func Abbreviation(s string) string {
+	var b strings.Builder
+	for _, t := range Tokens(s) {
+		r := []rune(t)
+		if len(r) > 0 {
+			b.WriteRune(r[0])
+		}
+	}
+	return b.String()
+}
+
+// SplitEntities splits an entity-set attribute value (for example an author
+// list) on commas, semicolons and the literal " and ", normalizing each
+// element. Empty elements are dropped. The result is never nil.
+func SplitEntities(s string) []string {
+	replaced := strings.NewReplacer(";", ",", " and ", ",", " & ", ",").Replace(strings.ToLower(s))
+	parts := strings.Split(replaced, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if n := Normalize(p); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// QGrams returns the q-grams (length-q substrings over runes) of the
+// normalized form of s. For inputs shorter than q the whole string is the
+// single gram. The result is never nil.
+func QGrams(s string, q int) []string {
+	n := []rune(Normalize(s))
+	if q <= 0 {
+		q = 2
+	}
+	if len(n) == 0 {
+		return []string{}
+	}
+	if len(n) <= q {
+		return []string{string(n)}
+	}
+	grams := make([]string, 0, len(n)-q+1)
+	for i := 0; i+q <= len(n); i++ {
+		grams = append(grams, string(n[i:i+q]))
+	}
+	return grams
+}
+
+// CommonPrefixLen returns the length in runes of the longest common prefix
+// of a and b.
+func CommonPrefixLen(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	n := 0
+	for n < len(ra) && n < len(rb) && ra[n] == rb[n] {
+		n++
+	}
+	return n
+}
+
+// IsSubstring reports whether the normalized form of the shorter value is a
+// substring of the normalized form of the longer value. Empty values are a
+// substring of anything.
+func IsSubstring(a, b string) bool {
+	na, nb := Normalize(a), Normalize(b)
+	if len(na) > len(nb) {
+		na, nb = nb, na
+	}
+	return strings.Contains(nb, na)
+}
+
+// IsPrefix reports whether the normalized shorter value is a prefix of the
+// normalized longer value.
+func IsPrefix(a, b string) bool {
+	na, nb := Normalize(a), Normalize(b)
+	if len(na) > len(nb) {
+		na, nb = nb, na
+	}
+	return strings.HasPrefix(nb, na)
+}
+
+// IsSuffix reports whether the normalized shorter value is a suffix of the
+// normalized longer value.
+func IsSuffix(a, b string) bool {
+	na, nb := Normalize(a), Normalize(b)
+	if len(na) > len(nb) {
+		na, nb = nb, na
+	}
+	return strings.HasSuffix(nb, na)
+}

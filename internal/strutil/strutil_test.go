@@ -1,0 +1,251 @@
+package strutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Hello, World!", "hello world"},
+		{"  multiple   spaces ", "multiple spaces"},
+		{"MiXeD-CaSe_and.punct", "mixed case and punct"},
+		{"", ""},
+		{"!!!", ""},
+		{"42nd Street", "42nd street"},
+		{"ünïcödé ÁB", "ünïcödé áb"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeOutputCharset(t *testing.T) {
+	f := func(s string) bool {
+		for _, r := range Normalize(s) {
+			if r != ' ' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				return false
+			}
+			// Lowercased output: every rune is a fixed point of ToLower.
+			// (Some letters, e.g. U+210D 'ℍ', report IsUpper but have no
+			// lowercase mapping; they pass through Normalize unchanged.)
+			if unicode.ToLower(r) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	got := Tokens("The Quick, Brown Fox!")
+	want := []string{"the", "quick", "brown", "fox"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if got := Tokens("   "); len(got) != 0 {
+		t.Errorf("Tokens(blank) = %v, want empty", got)
+	}
+}
+
+func TestTokensNeverContainSpaces(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokens(s) {
+			if tok == "" || strings.ContainsRune(tok, ' ') {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenSetAndCounts(t *testing.T) {
+	s := "a b a c b a"
+	set := TokenSet(s)
+	if len(set) != 3 {
+		t.Errorf("TokenSet size = %d, want 3", len(set))
+	}
+	counts := TokenCounts(s)
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Errorf("TokenCounts = %v", counts)
+	}
+}
+
+func TestAbbreviation(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Very Large Data Bases", "vldb"},
+		{"ACM SIGMOD", "as"},
+		{"", ""},
+		{"single", "s"},
+	}
+	for _, c := range cases {
+		if got := Abbreviation(c.in); got != c.want {
+			t.Errorf("Abbreviation(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAbbreviationLenMatchesTokenCount(t *testing.T) {
+	f := func(s string) bool {
+		return len([]rune(Abbreviation(s))) == len(Tokens(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitEntities(t *testing.T) {
+	got := SplitEntities("T Brinkhoff, H Kriegel; R Schneider and B Seeger")
+	want := []string{"t brinkhoff", "h kriegel", "r schneider", "b seeger"}
+	if len(got) != len(want) {
+		t.Fatalf("SplitEntities = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entity %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if got := SplitEntities(",,;"); len(got) != 0 {
+		t.Errorf("SplitEntities(empties) = %v, want empty", got)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("abcd", 2)
+	want := []string{"ab", "bc", "cd"}
+	if len(got) != len(want) {
+		t.Fatalf("QGrams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("gram %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if got := QGrams("a", 3); len(got) != 1 || got[0] != "a" {
+		t.Errorf("QGrams(short) = %v", got)
+	}
+	if got := QGrams("", 2); len(got) != 0 {
+		t.Errorf("QGrams(empty) = %v", got)
+	}
+	// Non-positive q falls back to bigrams.
+	if got := QGrams("abc", 0); len(got) != 2 {
+		t.Errorf("QGrams(q=0) = %v, want bigrams", got)
+	}
+}
+
+func TestQGramCount(t *testing.T) {
+	f := func(s string) bool {
+		n := len([]rune(Normalize(s)))
+		g := QGrams(s, 2)
+		switch {
+		case n == 0:
+			return len(g) == 0
+		case n <= 2:
+			return len(g) == 1
+		default:
+			return len(g) == n-1
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"abcde", "abcxy", 3},
+		{"", "abc", 0},
+		{"same", "same", 4},
+		{"x", "y", 0},
+	}
+	for _, c := range cases {
+		if got := CommonPrefixLen(c.a, c.b); got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCommonPrefixSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return CommonPrefixLen(a, b) == CommonPrefixLen(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstringPrefixSuffix(t *testing.T) {
+	if !IsSubstring("data bases", "very large data bases") {
+		t.Error("expected substring")
+	}
+	if IsSubstring("databases", "very large data bases") {
+		t.Error("unexpected substring")
+	}
+	if !IsPrefix("very large", "Very Large Data Bases") {
+		t.Error("expected prefix")
+	}
+	if IsPrefix("large", "very large data bases") {
+		t.Error("unexpected prefix")
+	}
+	if !IsSuffix("data bases", "very large data bases") {
+		t.Error("expected suffix")
+	}
+	if IsSuffix("very", "very large data bases") {
+		t.Error("unexpected suffix")
+	}
+}
+
+func TestSubstringSymmetricAndReflexive(t *testing.T) {
+	f := func(a, b string) bool {
+		if IsSubstring(a, b) != IsSubstring(b, a) {
+			return false
+		}
+		return IsSubstring(a, a) && IsPrefix(a, a) && IsSuffix(a, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixSuffixImplySubstring(t *testing.T) {
+	f := func(a, b string) bool {
+		if IsPrefix(a, b) && !IsSubstring(a, b) {
+			return false
+		}
+		if IsSuffix(a, b) && !IsSubstring(a, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

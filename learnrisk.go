@@ -1,0 +1,312 @@
+// Package learnrisk is the public API of this repository's reproduction of
+// "Towards Interpretable and Learnable Risk Analysis for Entity Resolution"
+// (Chen et al., SIGMOD 2020). It wires the full LearnRisk pipeline —
+// classifier training, interpretable risk-feature generation, risk-model
+// construction and learning-to-rank training — behind a small facade:
+//
+//	w, _ := learnrisk.Generate("DS", 0.05, 42)
+//	report, _ := learnrisk.Run(w, learnrisk.Options{})
+//	for _, rp := range report.Ranking[:10] {
+//	    fmt.Println(rp.Risk, report.Explain(rp)[0])
+//	}
+//
+// The import path of this package is "repro"; the package name is
+// learnrisk.
+package learnrisk
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/blocking"
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/dtree"
+	"repro/internal/eval"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+)
+
+// Workload bundles an ER candidate-pair workload with the basic-metric
+// catalog derived from its schema (the paper's per-dataset metric design).
+type Workload struct {
+	inner *dataset.Workload
+	cat   *metrics.Catalog
+}
+
+// Name returns the workload's name.
+func (w *Workload) Name() string { return w.inner.Name }
+
+// Size returns the number of candidate pairs.
+func (w *Workload) Size() int { return len(w.inner.Pairs) }
+
+// Matches returns the number of ground-truth equivalent pairs.
+func (w *Workload) Matches() int { return w.inner.MatchCount() }
+
+// Attributes returns the schema arity.
+func (w *Workload) Attributes() int { return len(w.inner.Left.Schema.Attrs) }
+
+// PairValues returns the two records of candidate pair i as attribute-value
+// slices (for display).
+func (w *Workload) PairValues(i int) (left, right []string) { return w.inner.Values(i) }
+
+// AttrNames returns the schema's attribute names.
+func (w *Workload) AttrNames() []string { return w.inner.Left.Schema.AttrNames() }
+
+// Generate synthesizes one of the paper's benchmark-shaped workloads
+// ("DS", "AB", "AG", "SG", "DA" — see Table 2) at the given scale
+// (1.0 = full Table 2 size) with a deterministic seed.
+func Generate(profile string, scale float64, seed uint64) (*Workload, error) {
+	spec, ok := datagen.ByName(profile, seed)
+	if !ok {
+		return nil, fmt.Errorf("learnrisk: unknown profile %q (want one of %v)", profile, datagen.Names())
+	}
+	inner, err := datagen.Generate(spec, scale)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(inner), nil
+}
+
+func wrap(inner *dataset.Workload) *Workload {
+	return &Workload{inner: inner, cat: inner.Left.Schema.Catalog(inner.Left, inner.Right)}
+}
+
+// Attr describes one schema attribute for LoadCSV: a name and a value type,
+// one of "entity-name", "entity-set", "text", "numeric", "categorical".
+type Attr struct {
+	Name string
+	Type string
+}
+
+func parseAttrType(s string) (metrics.AttrType, error) {
+	switch s {
+	case "entity-name":
+		return metrics.EntityName, nil
+	case "entity-set":
+		return metrics.EntitySet, nil
+	case "text":
+		return metrics.Text, nil
+	case "numeric":
+		return metrics.Numeric, nil
+	case "categorical":
+		return metrics.Categorical, nil
+	}
+	return 0, fmt.Errorf("learnrisk: unknown attribute type %q", s)
+}
+
+// LoadCSV loads a workload from two table CSVs (columns: id, entity_id,
+// then one per attribute) and, optionally, a pairs CSV (left_id, right_id,
+// match). When pairsPath is empty, candidate pairs are produced by token
+// blocking and ground truth is taken from the entity_id columns.
+func LoadCSV(name, leftPath, rightPath, pairsPath string, attrs []Attr) (*Workload, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("learnrisk: schema attrs required")
+	}
+	schema := &dataset.Schema{Name: name}
+	for _, a := range attrs {
+		t, err := parseAttrType(a.Type)
+		if err != nil {
+			return nil, err
+		}
+		schema.Attrs = append(schema.Attrs, dataset.Attr{Name: a.Name, Type: t})
+	}
+	readTable := func(path, tname string) (*dataset.Table, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadTableCSV(f, tname, schema)
+	}
+	left, err := readTable(leftPath, name+"-left")
+	if err != nil {
+		return nil, err
+	}
+	right, err := readTable(rightPath, name+"-right")
+	if err != nil {
+		return nil, err
+	}
+	inner := &dataset.Workload{Name: name, Left: left, Right: right}
+	if pairsPath == "" {
+		inner.Pairs = blocking.Candidates(left, right, blocking.Config{})
+	} else {
+		f, err := os.Open(pairsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pairs, err := dataset.ReadPairsCSV(f, left, right)
+		if err != nil {
+			return nil, err
+		}
+		inner.Pairs = pairs
+	}
+	if err := inner.Validate(); err != nil {
+		return nil, err
+	}
+	return wrap(inner), nil
+}
+
+// Options configures a pipeline run. Zero values take the paper's defaults.
+type Options struct {
+	// SplitRatio is "train:validation:test" (default "3:2:5"; Section 7.1).
+	SplitRatio string
+	// VaRConfidence is the risk metric's theta (default 0.9).
+	VaRConfidence float64
+	// RuleDepth bounds risk-feature rule length (default 3).
+	RuleDepth int
+	// RiskEpochs is the risk-model training budget (default 1000).
+	RiskEpochs int
+	// ClassifierEpochs is the matcher training budget (default 40).
+	ClassifierEpochs int
+	// Seed makes the whole run deterministic (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SplitRatio == "" {
+		o.SplitRatio = "3:2:5"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RankedPair is one row of the risk ranking.
+type RankedPair struct {
+	PairIndex  int     // index into the workload's candidate pairs
+	Risk       float64 // VaR risk of being mislabeled
+	Prob       float64 // classifier output
+	Match      bool    // machine label
+	Mislabeled bool    // ground truth says the machine label is wrong
+}
+
+// Report is the outcome of a pipeline run on one workload.
+type Report struct {
+	// Ranking lists the test pairs by descending risk.
+	Ranking []RankedPair
+	// AUROC is the risk ranking's quality against ground truth.
+	AUROC float64
+	// ClassifierF1 and ClassifierAccuracy describe the machine classifier
+	// on the test pairs.
+	ClassifierF1       float64
+	ClassifierAccuracy float64
+	// Mislabels is the number of mislabeled test pairs.
+	Mislabels int
+	// NumFeatures is the number of generated rule risk features.
+	NumFeatures int
+	// RuleCoverage is the fraction of test pairs on which at least one
+	// rule feature fires.
+	RuleCoverage float64
+
+	model    *core.Model
+	features []rules.Rule
+	insts    map[int]core.Instance // by pair index
+}
+
+// Run executes the full LearnRisk pipeline on the workload: split by ratio,
+// train the classifier on the training part, generate risk features from
+// the training part, train the risk model on the validation part, and rank
+// the test part by risk.
+func Run(w *Workload, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	split, err := w.inner.SplitPairs(opts.SplitRatio, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	matcher, err := classifier.Train(w.inner, w.cat, split.Train, classifier.Config{
+		Epochs: opts.ClassifierEpochs, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: classifier training: %w", err)
+	}
+
+	// Risk features from the classifier training data (Section 5).
+	trainX := rules.Matrix(w.inner, w.cat, split.Train)
+	trainY := make([]bool, len(split.Train))
+	for k, i := range split.Train {
+		trainY[k] = w.inner.Pairs[i].Match
+	}
+	feats := dtree.GenerateRiskFeatures(trainX, trainY, w.cat.Names(), dtree.OneSidedConfig{
+		MaxDepth: opts.RuleDepth,
+	})
+	stats := rules.Stats(feats, trainX, trainY)
+	model, err := core.New(core.BuildFeatures(feats, stats), core.Config{
+		Theta: opts.VaRConfidence, Epochs: opts.RiskEpochs, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Risk-model training on the validation part (Section 4.3).
+	validX := rules.Matrix(w.inner, w.cat, split.Valid)
+	validLab := matcher.Label(w.inner, split.Valid)
+	validInsts, validBad := core.BuildInstances(rules.Apply(feats, validX), validLab)
+	if err := model.Fit(validInsts, validBad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
+		return nil, fmt.Errorf("learnrisk: risk training: %w", err)
+	}
+
+	// Rank the test part.
+	testX := rules.Matrix(w.inner, w.cat, split.Test)
+	testLab := matcher.Label(w.inner, split.Test)
+	testInsts, testBad := core.BuildInstances(rules.Apply(feats, testX), testLab)
+	risks := model.RiskAll(testInsts)
+
+	rep := &Report{
+		AUROC:              eval.AUROC(risks, testBad),
+		ClassifierF1:       testLab.F1(),
+		ClassifierAccuracy: testLab.Accuracy(),
+		Mislabels:          testLab.MislabelCount(),
+		NumFeatures:        len(feats),
+		RuleCoverage:       rules.Coverage(feats, testX),
+		model:              model,
+		features:           feats,
+		insts:              make(map[int]core.Instance, len(testInsts)),
+	}
+	for k := range testInsts {
+		rep.insts[testLab.Idx[k]] = testInsts[k]
+		rep.Ranking = append(rep.Ranking, RankedPair{
+			PairIndex:  testLab.Idx[k],
+			Risk:       risks[k],
+			Prob:       testLab.Prob[k],
+			Match:      testLab.Label[k],
+			Mislabeled: testBad[k],
+		})
+	}
+	sort.SliceStable(rep.Ranking, func(a, b int) bool {
+		return rep.Ranking[a].Risk > rep.Ranking[b].Risk
+	})
+	return rep, nil
+}
+
+// Explain returns the interpretable decomposition of one ranked pair's
+// risk: each contributing risk feature with its weight share in the pair's
+// portfolio, most influential first.
+func (r *Report) Explain(rp RankedPair) []string {
+	inst, ok := r.insts[rp.PairIndex]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, c := range r.model.Explain(inst) {
+		out = append(out, fmt.Sprintf("share=%.2f mu=%.3f sigma=%.3f  %s",
+			c.Share, c.Mu, c.Sigma, c.Description))
+	}
+	return out
+}
+
+// Features renders the generated risk features, strongest support first.
+func (r *Report) Features() []string {
+	out := make([]string, len(r.features))
+	for i := range r.features {
+		out[i] = r.features[i].String()
+	}
+	return out
+}

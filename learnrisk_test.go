@@ -1,0 +1,194 @@
+package learnrisk
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndRunEndToEnd(t *testing.T) {
+	w, err := Generate("DS", 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "DS" || w.Size() == 0 || w.Matches() == 0 || w.Attributes() != 4 {
+		t.Fatalf("workload stats: name=%s size=%d matches=%d attrs=%d",
+			w.Name(), w.Size(), w.Matches(), w.Attributes())
+	}
+	rep, err := Run(w, Options{RiskEpochs: 200, ClassifierEpochs: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ranking) == 0 {
+		t.Fatal("empty ranking")
+	}
+	// Ranking is sorted by descending risk.
+	for i := 1; i < len(rep.Ranking); i++ {
+		if rep.Ranking[i].Risk > rep.Ranking[i-1].Risk {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	if rep.AUROC < 0.7 {
+		t.Errorf("pipeline AUROC %.3f < 0.7", rep.AUROC)
+	}
+	if rep.NumFeatures == 0 || rep.RuleCoverage == 0 {
+		t.Errorf("no risk features generated: %d features, coverage %.2f",
+			rep.NumFeatures, rep.RuleCoverage)
+	}
+	if rep.ClassifierF1 <= 0 || rep.ClassifierAccuracy <= 0.5 {
+		t.Errorf("classifier quality: F1=%.3f acc=%.3f", rep.ClassifierF1, rep.ClassifierAccuracy)
+	}
+	// Explanations exist for every ranked pair and include the classifier.
+	exp := r0Explain(t, rep)
+	if len(exp) == 0 {
+		t.Fatal("no explanation for top-risk pair")
+	}
+	foundClassifier := false
+	for _, line := range exp {
+		if strings.Contains(line, "classifier output") {
+			foundClassifier = true
+		}
+	}
+	if !foundClassifier {
+		t.Errorf("explanation missing classifier feature: %v", exp)
+	}
+	if feats := rep.Features(); len(feats) != rep.NumFeatures {
+		t.Errorf("Features() length %d != NumFeatures %d", len(feats), rep.NumFeatures)
+	}
+	// PairValues round trip.
+	l, r := w.PairValues(rep.Ranking[0].PairIndex)
+	if len(l) != 4 || len(r) != 4 {
+		t.Error("PairValues arity mismatch")
+	}
+	if len(w.AttrNames()) != 4 {
+		t.Error("AttrNames arity mismatch")
+	}
+}
+
+func r0Explain(t *testing.T, rep *Report) []string {
+	t.Helper()
+	return rep.Explain(rep.Ranking[0])
+}
+
+func TestExplainUnknownPair(t *testing.T) {
+	w, _ := Generate("AB", 0.02, 3)
+	rep, err := Run(w, Options{RiskEpochs: 100, ClassifierEpochs: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Explain(RankedPair{PairIndex: -1}); got != nil {
+		t.Errorf("unknown pair should yield nil, got %v", got)
+	}
+}
+
+func TestRiskRankingSeparatesMislabels(t *testing.T) {
+	w, _ := Generate("DS", 0.02, 11)
+	rep, err := Run(w, Options{RiskEpochs: 300, ClassifierEpochs: 25, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mislabels == 0 {
+		t.Skip("no mislabels in this configuration")
+	}
+	// The top decile of the ranking should hold a disproportionate share
+	// of the mislabels (that is the entire point of the system).
+	top := len(rep.Ranking) / 10
+	if top < 1 {
+		top = 1
+	}
+	topBad := 0
+	for _, rp := range rep.Ranking[:top] {
+		if rp.Mislabeled {
+			topBad++
+		}
+	}
+	baseRate := float64(rep.Mislabels) / float64(len(rep.Ranking))
+	topRate := float64(topBad) / float64(top)
+	if topRate < 2*baseRate {
+		t.Errorf("top-decile mislabel rate %.3f not >= 2x base rate %.3f", topRate, baseRate)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("NOPE", 1, 1); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if _, err := Generate("DS", 0, 1); err == nil {
+		t.Error("zero scale should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	w, _ := Generate("DS", 0.02, 1)
+	if _, err := Run(w, Options{SplitRatio: "bogus"}); err == nil {
+		t.Error("bad ratio should fail")
+	}
+}
+
+func TestLoadCSVWithBlockingAndWithPairs(t *testing.T) {
+	dir := t.TempDir()
+	leftCSV := "id,entity_id,title,year\nl0,e0,spatial join methods,1993\nl1,e1,query optimization,1998\n"
+	rightCSV := "id,entity_id,title,year\nr0,e0,spatial join methods survey,1993\nr1,e1,query optimization techniques,1998\n"
+	pairsCSV := "left_id,right_id,match\nl0,r0,1\nl1,r1,1\nl0,r1,0\n"
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	lp := write("left.csv", leftCSV)
+	rp := write("right.csv", rightCSV)
+	pp := write("pairs.csv", pairsCSV)
+	attrs := []Attr{{Name: "title", Type: "text"}, {Name: "year", Type: "numeric"}}
+
+	withPairs, err := LoadCSV("csvtest", lp, rp, pp, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPairs.Size() != 3 || withPairs.Matches() != 2 {
+		t.Errorf("with pairs: size=%d matches=%d", withPairs.Size(), withPairs.Matches())
+	}
+
+	blocked, err := LoadCSV("csvtest2", lp, rp, "", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Size() == 0 || blocked.Matches() != 2 {
+		t.Errorf("blocked: size=%d matches=%d", blocked.Size(), blocked.Matches())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	attrs := []Attr{{Name: "a", Type: "text"}}
+	if _, err := LoadCSV("x", "/nonexistent", "/nonexistent", "", attrs); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := LoadCSV("x", "a", "b", "", nil); err == nil {
+		t.Error("empty schema should fail")
+	}
+	if _, err := LoadCSV("x", "a", "b", "", []Attr{{Name: "a", Type: "bogus"}}); err == nil {
+		t.Error("bad attr type should fail")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w, _ := Generate("AG", 0.03, 5)
+	run := func() *Report {
+		rep, err := Run(w, Options{RiskEpochs: 80, ClassifierEpochs: 10, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.AUROC != b.AUROC || len(a.Ranking) != len(b.Ranking) {
+		t.Fatal("pipeline not deterministic")
+	}
+	for i := range a.Ranking {
+		if a.Ranking[i] != b.Ranking[i] {
+			t.Fatal("ranking not deterministic")
+		}
+	}
+}

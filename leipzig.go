@@ -1,0 +1,48 @@
+package learnrisk
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/leipzig"
+)
+
+// LoadLeipzig loads one of the real Leipzig benchmark datasets the paper
+// evaluates on, given the paths of its three published CSV files. benchmark
+// selects the column layout: "dblp-scholar", "abt-buy" or "amazon-google".
+// The experiments in this repository run on synthetic stand-ins (the files
+// are online downloads); this entry point runs the identical pipeline on
+// the real data when the files are available locally.
+func LoadLeipzig(benchmark, leftPath, rightPath, mappingPath string) (*Workload, error) {
+	var spec leipzig.Spec
+	switch benchmark {
+	case "dblp-scholar":
+		spec = leipzig.DBLPScholar()
+	case "abt-buy":
+		spec = leipzig.AbtBuy()
+	case "amazon-google":
+		spec = leipzig.AmazonGoogle()
+	default:
+		return nil, fmt.Errorf("learnrisk: unknown benchmark %q (want dblp-scholar, abt-buy or amazon-google)", benchmark)
+	}
+	left, err := os.Open(leftPath)
+	if err != nil {
+		return nil, err
+	}
+	defer left.Close()
+	right, err := os.Open(rightPath)
+	if err != nil {
+		return nil, err
+	}
+	defer right.Close()
+	mapping, err := os.Open(mappingPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mapping.Close()
+	inner, err := leipzig.Load(spec, left, right, mapping)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(inner), nil
+}

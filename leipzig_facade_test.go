@@ -1,0 +1,90 @@
+package learnrisk
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadLeipzigFacade(t *testing.T) {
+	dir := t.TempDir()
+	left := writeTemp(t, dir, "Abt.csv",
+		"id,name,description,price\na1,sony camcorder x100,compact sony camcorder,299\na2,bose speaker s5,wireless bose speaker,199\n")
+	right := writeTemp(t, dir, "Buy.csv",
+		"id,name,description,price\nb1,sony camcorder x-100,sony compact camcorder,$289.99\nb2,bose s5 speaker,bose speaker wireless,199.00\n")
+	mapping := writeTemp(t, dir, "abt_buy_perfectMapping.csv",
+		"idAbt,idBuy\na1,b1\na2,b2\n")
+
+	w, err := LoadLeipzig("abt-buy", left, right, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Matches() != 2 {
+		t.Errorf("matches = %d, want 2", w.Matches())
+	}
+	if w.Attributes() != 3 {
+		t.Errorf("attributes = %d, want 3", w.Attributes())
+	}
+	if w.Size() < 2 {
+		t.Errorf("size = %d", w.Size())
+	}
+}
+
+func TestLoadLeipzigErrors(t *testing.T) {
+	if _, err := LoadLeipzig("bogus", "a", "b", "c"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if _, err := LoadLeipzig("abt-buy", "/nonexistent", "/nonexistent", "/nonexistent"); err == nil {
+		t.Error("missing files should fail")
+	}
+	dir := t.TempDir()
+	left := writeTemp(t, dir, "l.csv", "id,name,description,price\na1,x,y,1\n")
+	if _, err := LoadLeipzig("abt-buy", left, "/nonexistent", "/nonexistent"); err == nil {
+		t.Error("missing right file should fail")
+	}
+	right := writeTemp(t, dir, "r.csv", "id,name,description,price\nb1,x,y,1\n")
+	if _, err := LoadLeipzig("abt-buy", left, right, "/nonexistent"); err == nil {
+		t.Error("missing mapping file should fail")
+	}
+}
+
+func TestActiveLearnFacade(t *testing.T) {
+	w, err := Generate("DS", 0.02, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := ActiveLearn(w, ActiveOptions{
+		Method: "Entropy", InitialSize: 48, BatchSize: 24, Rounds: 1, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(curve))
+	}
+	if curve[0].Size != 48 || curve[1].Size != 72 {
+		t.Errorf("sizes = %v", curve)
+	}
+	for _, p := range curve {
+		if p.F1 < 0 || p.F1 > 1 {
+			t.Errorf("F1 %f out of range", p.F1)
+		}
+	}
+	// Default method resolves to LearnRisk.
+	if _, err := ActiveLearn(w, ActiveOptions{InitialSize: 48, BatchSize: 24, Rounds: 1, Seed: 31}); err != nil {
+		t.Errorf("default method failed: %v", err)
+	}
+	// Invalid test fraction.
+	if _, err := ActiveLearn(w, ActiveOptions{TestFraction: 1.5}); err == nil {
+		t.Error("bad TestFraction should fail")
+	}
+}

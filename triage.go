@@ -1,0 +1,78 @@
+package learnrisk
+
+import (
+	"io"
+
+	"repro/internal/classifier"
+	"repro/internal/humo"
+)
+
+// TriageOutcome reports what a human-verification budget buys when spent on
+// the riskiest pairs first (the r-HUMO-style application of risk analysis).
+type TriageOutcome struct {
+	Budget    int     // pairs verified by humans
+	Corrected int     // mislabels fixed
+	AccBefore float64 // labeling accuracy before verification
+	AccAfter  float64
+	F1Before  float64 // pair-matching F1 before verification
+	F1After   float64
+}
+
+// labeled reconstructs the classifier.Labeled view of the report's ranking.
+func (r *Report) labeled() (classifier.Labeled, []float64) {
+	l := classifier.Labeled{
+		Idx:   make([]int, len(r.Ranking)),
+		Prob:  make([]float64, len(r.Ranking)),
+		Label: make([]bool, len(r.Ranking)),
+		Truth: make([]bool, len(r.Ranking)),
+	}
+	risks := make([]float64, len(r.Ranking))
+	for k, rp := range r.Ranking {
+		l.Idx[k] = rp.PairIndex
+		l.Prob[k] = rp.Prob
+		l.Label[k] = rp.Match
+		l.Truth[k] = rp.Match != rp.Mislabeled
+		risks[k] = rp.Risk
+	}
+	return l, risks
+}
+
+// Triage simulates spending `budget` human verifications on the riskiest
+// test pairs and reports the quality improvement.
+func (r *Report) Triage(budget int) (TriageOutcome, error) {
+	l, risks := r.labeled()
+	o, err := humo.Triage(l, risks, budget)
+	if err != nil {
+		return TriageOutcome{}, err
+	}
+	return TriageOutcome(o), nil
+}
+
+// BudgetCurve runs Triage for each budget, yielding the manual-cost vs
+// quality tradeoff curve.
+func (r *Report) BudgetCurve(budgets []int) ([]TriageOutcome, error) {
+	l, risks := r.labeled()
+	outs, err := humo.BudgetCurve(l, risks, budgets)
+	if err != nil {
+		return nil, err
+	}
+	curve := make([]TriageOutcome, len(outs))
+	for i, o := range outs {
+		curve[i] = TriageOutcome(o)
+	}
+	return curve, nil
+}
+
+// MinBudgetForAccuracy returns the smallest human budget that lifts the
+// test labeling to the target accuracy when verifying in risk order, and
+// whether the target is reachable.
+func (r *Report) MinBudgetForAccuracy(target float64) (int, bool, error) {
+	l, risks := r.labeled()
+	return humo.MinBudgetForAccuracy(l, risks, target)
+}
+
+// SaveModel writes the trained risk model (features, priors, learned
+// weights) as JSON for inspection or reuse via internal/core.Load.
+func (r *Report) SaveModel(w io.Writer) error {
+	return r.model.Save(w)
+}

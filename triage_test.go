@@ -1,0 +1,92 @@
+package learnrisk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func triageReport(t *testing.T) *Report {
+	t.Helper()
+	w, err := Generate("DS", 0.02, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(w, Options{RiskEpochs: 200, ClassifierEpochs: 20, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mislabels == 0 {
+		t.Skip("no mislabels to triage in this configuration")
+	}
+	return rep
+}
+
+func TestTriage(t *testing.T) {
+	rep := triageReport(t)
+	budget := len(rep.Ranking) / 10
+	o, err := rep.Triage(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Budget != budget {
+		t.Errorf("budget = %d, want %d", o.Budget, budget)
+	}
+	if o.AccAfter < o.AccBefore {
+		t.Errorf("verification lowered accuracy: %f -> %f", o.AccBefore, o.AccAfter)
+	}
+	// A working risk ranking concentrates mislabels into the budget: the
+	// top decile should fix more than a proportional share.
+	proportional := float64(rep.Mislabels) * float64(budget) / float64(len(rep.Ranking))
+	if float64(o.Corrected) < proportional {
+		t.Errorf("corrected %d below proportional share %.1f — ranking not concentrating risk",
+			o.Corrected, proportional)
+	}
+}
+
+func TestBudgetCurveAndMinBudget(t *testing.T) {
+	rep := triageReport(t)
+	n := len(rep.Ranking)
+	curve, err := rep.BudgetCurve([]int{0, n / 20, n / 10, n / 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].AccAfter < curve[i-1].AccAfter-1e-12 {
+			t.Error("budget curve not monotone")
+		}
+	}
+	target := curve[0].AccBefore + (1-curve[0].AccBefore)/2
+	budget, ok, err := rep.MinBudgetForAccuracy(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("midway target %.3f unreachable", target)
+	}
+	if budget <= 0 || budget > n {
+		t.Errorf("budget %d out of range", budget)
+	}
+	// Full correctness is reachable by verifying everything.
+	full, ok, err := rep.MinBudgetForAccuracy(1.0)
+	if err != nil || !ok {
+		t.Fatalf("perfect target: ok=%v err=%v", ok, err)
+	}
+	if full < budget {
+		t.Errorf("perfect budget %d below midway budget %d", full, budget)
+	}
+}
+
+func TestSaveModelFromReport(t *testing.T) {
+	rep := triageReport(t)
+	var buf bytes.Buffer
+	if err := rep.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"version"`, `"features"`, `"rho"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("saved model missing %q", want)
+		}
+	}
+}
