@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build vet test race tier1 bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race covers the packages whose hot paths run under internal/par worker
+# pools (disjoint-write contracts).
+race:
+	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/...
+
+# tier1 is the verification gate every PR must keep green (ROADMAP.md).
+tier1: build vet test race
+
+# bench refreshes the "current" section of BENCH_PR1.json with this
+# machine's numbers; bench-baseline records the pre-change numbers before
+# starting a perf PR. See PERFORMANCE.md.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_PR1.json -label current
+
+bench-baseline:
+	$(GO) run ./cmd/bench -out BENCH_PR1.json -label baseline

@@ -1,0 +1,171 @@
+// Command bench runs the repository's Benchmark* suite (go test -bench .
+// -benchmem) and records the results — ns/op, allocs/op, bytes/op and the
+// custom quality metrics (AUROC, F1x100, ...) the experiment benches report
+// — as JSON, so successive PRs can diff the perf trajectory without parsing
+// benchmark output by hand.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_PR1.json -label current
+//	go run ./cmd/bench -parse saved-bench-output.txt -label baseline
+//
+// The output file holds one section per label (e.g. "baseline" captured
+// before a change and "current" after); writing a label replaces that
+// section and preserves the others. The quality metrics ride along so a
+// speedup can be checked against unchanged reported AUROC/F1.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type section struct {
+	Go         string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	BenchFlags string            `json:"bench_flags"`
+	Results    map[string]result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR1.json", "output JSON file (updated in place)")
+	label := flag.String("label", "current", "section to write (e.g. baseline, current)")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	benchRE := flag.String("bench", ".", "go test -bench pattern")
+	parse := flag.String("parse", "", "parse an existing `go test -bench` output file instead of running the suite")
+	flag.Parse()
+
+	var raw []byte
+	flags := fmt.Sprintf("-bench %s -benchmem -benchtime %s", *benchRE, *benchtime)
+	if *parse != "" {
+		var err error
+		raw, err = os.ReadFile(*parse)
+		if err != nil {
+			fatal(err)
+		}
+		flags = "(parsed from " + *parse + ")"
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *benchRE,
+			"-benchmem", "-benchtime", *benchtime, "-count", "1", "-timeout", "3600s", ".")
+		cmd.Stderr = os.Stderr
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		fmt.Fprintf(os.Stderr, "bench: running go test %s ...\n", flags)
+		if err := cmd.Run(); err != nil {
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+		raw = buf.Bytes()
+	}
+
+	results, err := parseBench(raw)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no Benchmark results found"))
+	}
+
+	doc := map[string]json.RawMessage{}
+	if existing, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(existing, &doc); err != nil {
+			fatal(fmt.Errorf("%s exists but is not JSON: %w", *out, err))
+		}
+	}
+	sec := section{
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchFlags: flags,
+		Results:    results,
+	}
+	enc, err := json.MarshalIndent(sec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc[*label] = enc
+	final, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(final, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s section %q\n", len(results), *out, *label)
+}
+
+// parseBench extracts Benchmark lines from `go test -bench` output. Each
+// line has tab-separated cells: name, iterations, then "value unit" pairs
+// (ns/op, B/op, allocs/op, and any custom ReportMetric units).
+func parseBench(raw []byte) (map[string]result, error) {
+	results := map[string]result{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		cells := strings.Split(line, "\t")
+		if len(cells) < 3 {
+			continue
+		}
+		name := strings.TrimSpace(cells[0])
+		// Strip the -GOMAXPROCS suffix go test appends when procs > 1.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		iters, err := strconv.ParseInt(strings.TrimSpace(cells[1]), 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Iterations: iters}
+		for _, cell := range cells[2:] {
+			fields := strings.Fields(cell)
+			if len(fields) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[1]] = v
+			}
+		}
+		results[name] = r
+	}
+	return results, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -13,7 +13,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dtree"
+	"repro/internal/featstore"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/rules"
 	"repro/internal/stats"
 )
@@ -90,18 +92,23 @@ func Run(w *dataset.Workload, cat *metrics.Catalog, pool, test []int, method Met
 		return nil, err
 	}
 
+	// One feature store for the whole loop: each round's retraining,
+	// labeling and pool scoring reuse the metric rows of every pair seen in
+	// any earlier round.
+	st := featstore.New(w, cat)
+
 	var curve []Point
 	for round := 0; ; round++ {
-		m, err := classifier.Train(w, cat, labeled, withSeed(cfg.Classifier, cfg.Seed+uint64(round)))
+		m, err := classifier.TrainRows(w, cat, labeled, st.Rows(labeled), withSeed(cfg.Classifier, cfg.Seed+uint64(round)))
 		if err != nil {
 			return nil, fmt.Errorf("active: round %d: %w", round, err)
 		}
-		curve = append(curve, Point{Size: len(labeled), F1: m.Label(w, test).F1()})
+		curve = append(curve, Point{Size: len(labeled), F1: m.LabelRows(w, test, st.Rows(test)).F1()})
 		if round >= cfg.Rounds || len(unlabeled) < cfg.BatchSize {
 			return curve, nil
 		}
 
-		scores, err := scorePool(w, cat, m, labeled, unlabeled, method, cfg)
+		scores, err := scorePool(st, m, labeled, unlabeled, method, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("active: round %d: %w", round, err)
 		}
@@ -161,13 +168,14 @@ func min(a, b int) int {
 
 // scorePool returns one acquisition score per unlabeled index (higher =
 // select first).
-func scorePool(w *dataset.Workload, cat *metrics.Catalog, m *classifier.Matcher,
+func scorePool(st *featstore.Store, m *classifier.Matcher,
 	labeled, unlabeled []int, method Method, cfg Config) ([]float64, error) {
 
+	poolRows := st.Rows(unlabeled)
 	probs := make([]float64, len(unlabeled))
-	for k, i := range unlabeled {
-		probs[k] = m.Prob(w, i)
-	}
+	par.For(len(unlabeled), func(k int) {
+		probs[k] = m.ProbRow(poolRows[k])
+	})
 	switch method {
 	case LeastConfidence:
 		out := make([]float64, len(probs))
@@ -186,7 +194,7 @@ func scorePool(w *dataset.Workload, cat *metrics.Catalog, m *classifier.Matcher,
 		}
 		return out, nil
 	case LearnRisk:
-		return learnRiskScores(w, cat, m, labeled, unlabeled, cfg)
+		return learnRiskScores(st, m, labeled, unlabeled, probs, cfg)
 	}
 	return nil, fmt.Errorf("active: unknown method %q", method)
 }
@@ -195,39 +203,44 @@ func scorePool(w *dataset.Workload, cat *metrics.Catalog, m *classifier.Matcher,
 // (whose mislabel flags are known) and scores the unlabeled pool by VaR
 // risk — "at each iteration, the algorithm can select the most risky
 // instances for labeling" (Section 8).
-func learnRiskScores(w *dataset.Workload, cat *metrics.Catalog, m *classifier.Matcher,
-	labeled, unlabeled []int, cfg Config) ([]float64, error) {
+func learnRiskScores(st *featstore.Store, m *classifier.Matcher,
+	labeled, unlabeled []int, poolProbs []float64, cfg Config) ([]float64, error) {
 
-	trainX := rules.Matrix(w, cat, labeled)
+	w, cat := st.Workload(), st.Catalog()
+	trainX := st.Rows(labeled)
 	y := make([]bool, len(labeled))
 	for k, i := range labeled {
 		y[k] = w.Pairs[i].Match
 	}
 	rs := dtree.GenerateRiskFeatures(trainX, y, cat.Names(), cfg.RuleGen)
-	sts := rules.Stats(rs, trainX, y)
+	rset, err := rules.Compile(rs, st.Width())
+	if err != nil {
+		return nil, err
+	}
+	sts := rset.Stats(trainX, y)
 	feats := core.BuildFeatures(rs, sts)
 
 	model, err := core.New(feats, cfg.Risk)
 	if err != nil {
 		return nil, err
 	}
-	labTrain := m.Label(w, labeled)
-	trainInsts, mislabeled := core.BuildInstances(rules.Apply(rs, trainX), labTrain)
+	labTrain := m.LabelRows(w, labeled, trainX)
+	trainInsts, mislabeled := core.BuildInstances(rset.Apply(trainX), labTrain)
 	// A perfect classifier on the labeled set leaves nothing to rank on;
 	// fall back to entropy scores in that case.
 	if err := model.Fit(trainInsts, mislabeled); err != nil {
 		if errors.Is(err, core.ErrNoTrainingSignal) {
 			out := make([]float64, len(unlabeled))
-			for k, i := range unlabeled {
-				out[k] = classifier.Entropy(m.Prob(w, i))
+			for k := range unlabeled {
+				out[k] = classifier.Entropy(poolProbs[k])
 			}
 			return out, nil
 		}
 		return nil, err
 	}
-	poolX := rules.Matrix(w, cat, unlabeled)
-	labPool := m.Label(w, unlabeled)
-	poolInsts, _ := core.BuildInstances(rules.Apply(rs, poolX), labPool)
+	poolX := st.Rows(unlabeled)
+	labPool := m.LabelRows(w, unlabeled, poolX)
+	poolInsts, _ := core.BuildInstances(rset.Apply(poolX), labPool)
 	return model.RiskAll(poolInsts), nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dtree"
+	"repro/internal/featstore"
 	"repro/internal/metrics"
 	"repro/internal/rules"
 )
@@ -65,33 +66,38 @@ func RiskAwareTrain(w *dataset.Workload, cat *metrics.Catalog, labeled, target [
 	cfg RiskTrainConfig) (*RiskTrainResult, error) {
 
 	cfg = cfg.withDefaults()
-	base, err := classifier.Train(w, cat, labeled, withSeed(cfg.Classifier, cfg.Seed))
+	st := featstore.New(w, cat)
+	labeledX := st.Rows(labeled)
+	base, err := classifier.TrainRows(w, cat, labeled, labeledX, withSeed(cfg.Classifier, cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("active: base training: %w", err)
 	}
 
 	// Risk model from the labeled data (truth known there).
-	labeledX := rules.Matrix(w, cat, labeled)
 	y := make([]bool, len(labeled))
 	for k, i := range labeled {
 		y[k] = w.Pairs[i].Match
 	}
 	rs := dtree.GenerateRiskFeatures(labeledX, y, cat.Names(), cfg.RuleGen)
-	sts := rules.Stats(rs, labeledX, y)
+	rset, err := rules.Compile(rs, st.Width())
+	if err != nil {
+		return nil, err
+	}
+	sts := rset.Stats(labeledX, y)
 	model, err := core.New(core.BuildFeatures(rs, sts), cfg.Risk)
 	if err != nil {
 		return nil, err
 	}
-	labLabeled := base.Label(w, labeled)
-	insts, bad := core.BuildInstances(rules.Apply(rs, labeledX), labLabeled)
+	labLabeled := base.LabelRows(w, labeled, labeledX)
+	insts, bad := core.BuildInstances(rset.Apply(labeledX), labLabeled)
 	if err := model.Fit(insts, bad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
 		return nil, err
 	}
 
 	// Score the target pairs and adopt the safest machine labels.
-	targetX := rules.Matrix(w, cat, target)
-	labTarget := base.Label(w, target)
-	targetInsts, _ := core.BuildInstances(rules.Apply(rs, targetX), labTarget)
+	targetX := st.Rows(target)
+	labTarget := base.LabelRows(w, target, targetX)
+	targetInsts, _ := core.BuildInstances(rset.Apply(targetX), labTarget)
 	risks := model.RiskAll(targetInsts)
 
 	order := make([]int, len(target))
@@ -103,12 +109,16 @@ func RiskAwareTrain(w *dataset.Workload, cat *metrics.Catalog, labeled, target [
 
 	// Retrain on labeled (true labels) plus pseudo-labeled target pairs.
 	// The pseudo workload reuses the record tables; pseudo pairs carry the
-	// machine label as their (possibly wrong) ground truth.
+	// machine label as their (possibly wrong) ground truth. The metric rows
+	// of every pseudo pair are already in the store, so retraining reuses
+	// them instead of recomputing features.
 	pseudo := &dataset.Workload{Name: w.Name + "+pseudo", Left: w.Left, Right: w.Right}
 	var trainIdx []int
-	for _, i := range labeled {
+	var trainRows [][]float64
+	for k, i := range labeled {
 		pseudo.Pairs = append(pseudo.Pairs, w.Pairs[i])
 		trainIdx = append(trainIdx, len(pseudo.Pairs)-1)
+		trainRows = append(trainRows, labeledX[k])
 	}
 	adopted := 0
 	for _, k := range order[:limit] {
@@ -119,11 +129,12 @@ func RiskAwareTrain(w *dataset.Workload, cat *metrics.Catalog, labeled, target [
 		p.Match = labTarget.Label[k] // machine label as pseudo ground truth
 		pseudo.Pairs = append(pseudo.Pairs, p)
 		trainIdx = append(trainIdx, len(pseudo.Pairs)-1)
+		trainRows = append(trainRows, targetX[k])
 		adopted++
 	}
 
 	retrainCfg := withSeed(cfg.Classifier, cfg.Seed+1)
-	retrained, err := classifier.Train(pseudo, cat, trainIdx, retrainCfg)
+	retrained, err := classifier.TrainRows(pseudo, cat, trainIdx, trainRows, retrainCfg)
 	if err != nil {
 		return nil, fmt.Errorf("active: retraining: %w", err)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/classifier"
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -37,6 +38,18 @@ func Uncertainty(e *classifier.Ensemble, w *dataset.Workload, idx []int) []float
 		p := e.VoteProb(w, i)
 		out[k] = p * (1 - p)
 	}
+	return out
+}
+
+// UncertaintyRows is Uncertainty over precomputed full-catalog metric rows:
+// each pair's features are computed once and shared by every ensemble
+// member, in parallel across pairs.
+func UncertaintyRows(e *classifier.Ensemble, rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	par.For(len(rows), func(k int) {
+		p := e.VoteProbRow(rows[k])
+		out[k] = p * (1 - p)
+	})
 	return out
 }
 
@@ -142,6 +155,22 @@ func TrustScores(m *classifier.Matcher, w *dataset.Workload, trainIdx []int, l c
 	for j, i := range l.Idx {
 		out[j] = scorer.Risk(m.Hidden(w, i), l.Label[j])
 	}
+	return out
+}
+
+// TrustScoresRows is TrustScores over precomputed full-catalog metric rows
+// for the training reference set and the labeled test set; hidden
+// representations and k-NN risks are computed in parallel.
+func TrustScoresRows(m *classifier.Matcher, trainRows [][]float64, trainTruth []bool,
+	l classifier.Labeled, testRows [][]float64, k int) []float64 {
+
+	reps := make([][]float64, len(trainRows))
+	par.For(len(trainRows), func(j int) { reps[j] = m.HiddenRow(trainRows[j]) })
+	scorer := NewTrustScorer(reps, trainTruth, k)
+	out := make([]float64, len(l.Idx))
+	par.For(len(l.Idx), func(j int) {
+		out[j] = scorer.Risk(m.HiddenRow(testRows[j]), l.Label[j])
+	})
 	return out
 }
 

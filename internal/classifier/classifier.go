@@ -85,51 +85,80 @@ func FeatureMatrix(w *dataset.Workload, cat *metrics.Catalog, idx []int) [][]flo
 // Matcher is the trained ER classifier: it labels pairs as matching when
 // its output probability reaches 0.5.
 type Matcher struct {
-	net  *nn.Network
-	cat  *metrics.Catalog
-	view *metrics.Catalog // the metric subset the network consumes
+	net      *nn.Network
+	cat      *metrics.Catalog
+	view     *metrics.Catalog // the metric subset the network consumes
+	viewCols []int            // view metric positions within the full catalog
 }
 
 // similarityView returns a catalog restricted to similarity metrics
-// (sharing the corpora).
-func similarityView(cat *metrics.Catalog) *metrics.Catalog {
+// (sharing the corpora) plus each kept metric's column index in the full
+// catalog.
+func similarityView(cat *metrics.Catalog) (*metrics.Catalog, []int) {
 	view := &metrics.Catalog{Corpora: cat.Corpora}
-	for _, m := range cat.Metrics {
+	var cols []int
+	for i, m := range cat.Metrics {
 		if m.Kind == metrics.Similarity {
 			view.Metrics = append(view.Metrics, m)
+			cols = append(cols, i)
 		}
 	}
-	return view
+	return view, cols
 }
 
-// Train fits a matcher on the workload's pairs at the given indices.
-// The positive class is reweighted by the negative:positive ratio (capped
-// at 50) to counter ER's inherent imbalance.
-func Train(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, cfg Config) (*Matcher, error) {
-	cfg = cfg.withDefaults()
-	if len(trainIdx) == 0 {
-		return nil, errors.New("classifier: empty training set")
+func identityCols(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
 	}
-	view := cat
-	if !cfg.UseDifferenceMetrics {
-		view = similarityView(cat)
+	return cols
+}
+
+// newMatcher builds the untrained matcher shell for the catalog and config.
+func newMatcher(cat *metrics.Catalog, cfg Config) (*Matcher, error) {
+	m := &Matcher{cat: cat}
+	if cfg.UseDifferenceMetrics {
+		m.view, m.viewCols = cat, identityCols(len(cat.Metrics))
+	} else {
+		m.view, m.viewCols = similarityView(cat)
 	}
-	if len(view.Metrics) == 0 {
+	if len(m.view.Metrics) == 0 {
 		return nil, errors.New("classifier: catalog has no usable metrics")
 	}
-	xs := FeatureMatrix(w, view, trainIdx)
-	ys := make([]float64, len(trainIdx))
+	return m, nil
+}
+
+// InputFromRow projects a full-catalog metric row onto the matcher's view
+// and applies the [0,1] squash — the exact vector FeatureVector computes
+// from raw values. The result is freshly allocated.
+func (m *Matcher) InputFromRow(row []float64) []float64 {
+	out := make([]float64, len(m.viewCols))
+	for j, c := range m.viewCols {
+		v := row[c]
+		if v > 1 {
+			v = v / (1 + v)
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// fit trains the matcher's network on prepared inputs. The positive class
+// is reweighted by the negative:positive ratio (capped at 50) to counter
+// ER's inherent imbalance.
+func (m *Matcher) fit(xs [][]float64, match []bool, cfg Config) error {
+	ys := make([]float64, len(match))
 	pos := 0
-	for k, i := range trainIdx {
-		if w.Pairs[i].Match {
+	for k, isMatch := range match {
+		if isMatch {
 			ys[k] = 1
 			pos++
 		}
 	}
-	if pos == 0 || pos == len(trainIdx) {
-		return nil, fmt.Errorf("classifier: training set has a single class (%d/%d positive)", pos, len(trainIdx))
+	if pos == 0 || pos == len(match) {
+		return fmt.Errorf("classifier: training set has a single class (%d/%d positive)", pos, len(match))
 	}
-	posWeight := float64(len(trainIdx)-pos) / float64(pos)
+	posWeight := float64(len(match)-pos) / float64(pos)
 	if posWeight > 50 {
 		posWeight = 50
 	}
@@ -145,17 +174,69 @@ func Train(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, cfg Config
 		}
 	}
 	net, err := nn.New(nn.Config{
-		Inputs: len(view.Metrics), Hidden: cfg.Hidden, LR: cfg.LR,
+		Inputs: len(m.view.Metrics), Hidden: cfg.Hidden, LR: cfg.LR,
 		Epochs: cfg.Epochs, Batch: cfg.Batch, L2: cfg.L2,
 		Dropout: cfg.Dropout, Adam: true, Seed: cfg.Seed,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := net.Fit(xs, ys, weights); err != nil {
+		return err
+	}
+	m.net = net
+	return nil
+}
+
+func matchFlags(w *dataset.Workload, idx []int) []bool {
+	out := make([]bool, len(idx))
+	for k, i := range idx {
+		out[k] = w.Pairs[i].Match
+	}
+	return out
+}
+
+// Train fits a matcher on the workload's pairs at the given indices,
+// computing the feature vectors directly.
+func Train(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, cfg Config) (*Matcher, error) {
+	cfg = cfg.withDefaults()
+	if len(trainIdx) == 0 {
+		return nil, errors.New("classifier: empty training set")
+	}
+	m, err := newMatcher(cat, cfg)
+	if err != nil {
 		return nil, err
 	}
-	return &Matcher{net: net, cat: cat, view: view}, nil
+	xs := FeatureMatrix(w, m.view, trainIdx)
+	if err := m.fit(xs, matchFlags(w, trainIdx), cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// TrainRows fits a matcher from precomputed full-catalog metric rows (one
+// per trainIdx entry, as served by the feature store). It produces exactly
+// the matcher Train would: the network inputs are the view projection of
+// the rows, which is bit-identical to computing the view's metrics
+// directly.
+func TrainRows(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [][]float64, cfg Config) (*Matcher, error) {
+	cfg = cfg.withDefaults()
+	if len(trainIdx) == 0 {
+		return nil, errors.New("classifier: empty training set")
+	}
+	if len(rows) != len(trainIdx) {
+		return nil, fmt.Errorf("classifier: %d rows for %d training indices", len(rows), len(trainIdx))
+	}
+	m, err := newMatcher(cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([][]float64, len(rows))
+	par.For(len(rows), func(k int) { xs[k] = m.InputFromRow(rows[k]) })
+	if err := m.fit(xs, matchFlags(w, trainIdx), cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Prob returns the matcher's equivalence probability for pair i.
@@ -163,10 +244,22 @@ func (m *Matcher) Prob(w *dataset.Workload, i int) float64 {
 	return m.net.Predict(FeatureVector(w, m.view, i))
 }
 
+// ProbRow returns the equivalence probability from a precomputed
+// full-catalog metric row.
+func (m *Matcher) ProbRow(row []float64) float64 {
+	return m.net.Predict(m.InputFromRow(row))
+}
+
 // Hidden returns the matcher's last hidden-layer representation for pair i
 // (the embedding space used by the TrustScore baseline).
 func (m *Matcher) Hidden(w *dataset.Workload, i int) []float64 {
 	return m.net.Hidden(FeatureVector(w, m.view, i))
+}
+
+// HiddenRow returns the hidden representation from a precomputed
+// full-catalog metric row.
+func (m *Matcher) HiddenRow(row []float64) []float64 {
+	return m.net.Hidden(m.InputFromRow(row))
 }
 
 // Catalog returns the metric catalog the matcher was trained with.
@@ -184,12 +277,7 @@ type Labeled struct {
 
 // Label labels the pairs at the given workload indices.
 func (m *Matcher) Label(w *dataset.Workload, idx []int) Labeled {
-	l := Labeled{
-		Idx:   append([]int(nil), idx...),
-		Prob:  make([]float64, len(idx)),
-		Label: make([]bool, len(idx)),
-		Truth: make([]bool, len(idx)),
-	}
+	l := newLabeled(w, idx)
 	for k, i := range idx {
 		p := m.Prob(w, i)
 		l.Prob[k] = p
@@ -197,6 +285,29 @@ func (m *Matcher) Label(w *dataset.Workload, idx []int) Labeled {
 		l.Truth[k] = w.Pairs[i].Match
 	}
 	return l
+}
+
+// LabelRows labels the pairs at the given indices from precomputed
+// full-catalog metric rows (one per index), in parallel. The result is
+// identical to Label.
+func (m *Matcher) LabelRows(w *dataset.Workload, idx []int, rows [][]float64) Labeled {
+	l := newLabeled(w, idx)
+	par.For(len(idx), func(k int) {
+		p := m.ProbRow(rows[k])
+		l.Prob[k] = p
+		l.Label[k] = p >= 0.5
+		l.Truth[k] = w.Pairs[idx[k]].Match
+	})
+	return l
+}
+
+func newLabeled(w *dataset.Workload, idx []int) Labeled {
+	return Labeled{
+		Idx:   append([]int(nil), idx...),
+		Prob:  make([]float64, len(idx)),
+		Label: make([]bool, len(idx)),
+		Truth: make([]bool, len(idx)),
+	}
 }
 
 // Mislabeled reports whether position k is mislabeled (the positive class
@@ -256,6 +367,20 @@ type Ensemble struct {
 // (single-class resample) are retried with a fresh resample a bounded
 // number of times; an error is returned if no member can be trained.
 func TrainEnsemble(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, k int, cfg Config) (*Ensemble, error) {
+	return trainEnsemble(w, cat, trainIdx, nil, k, cfg)
+}
+
+// TrainEnsembleRows is TrainEnsemble over precomputed full-catalog metric
+// rows (one per trainIdx entry): every bootstrap resample reuses the rows
+// instead of recomputing each member's feature matrix from scratch.
+func TrainEnsembleRows(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [][]float64, k int, cfg Config) (*Ensemble, error) {
+	if len(rows) != len(trainIdx) {
+		return nil, fmt.Errorf("classifier: %d rows for %d training indices", len(rows), len(trainIdx))
+	}
+	return trainEnsemble(w, cat, trainIdx, rows, k, cfg)
+}
+
+func trainEnsemble(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [][]float64, k int, cfg Config) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
 	if k <= 0 {
 		k = 20
@@ -266,12 +391,26 @@ func TrainEnsemble(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, k 
 	for len(e.members) < k && attempts < 4*k {
 		attempts++
 		resample := make([]int, len(trainIdx))
+		var resampleRows [][]float64
+		if rows != nil {
+			resampleRows = make([][]float64, len(trainIdx))
+		}
 		for j := range resample {
-			resample[j] = trainIdx[rng.Intn(len(trainIdx))]
+			pick := rng.Intn(len(trainIdx))
+			resample[j] = trainIdx[pick]
+			if rows != nil {
+				resampleRows[j] = rows[pick]
+			}
 		}
 		memberCfg := cfg
 		memberCfg.Seed = cfg.Seed + uint64(attempts)
-		m, err := Train(w, cat, resample, memberCfg)
+		var m *Matcher
+		var err error
+		if rows != nil {
+			m, err = TrainRows(w, cat, resample, resampleRows, memberCfg)
+		} else {
+			m, err = Train(w, cat, resample, memberCfg)
+		}
 		if err != nil {
 			continue
 		}
@@ -294,6 +433,18 @@ func (e *Ensemble) VoteProb(w *dataset.Workload, i int) float64 {
 	votes := 0
 	for _, m := range e.members {
 		if m.Prob(w, i) >= 0.5 {
+			votes++
+		}
+	}
+	return float64(votes) / float64(len(e.members))
+}
+
+// VoteProbRow is VoteProb from a precomputed full-catalog metric row: the
+// pair's features are computed once and every member scores the same row.
+func (e *Ensemble) VoteProbRow(row []float64) float64 {
+	votes := 0
+	for _, m := range e.members {
+		if m.ProbRow(row) >= 0.5 {
 			votes++
 		}
 	}

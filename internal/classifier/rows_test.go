@@ -1,0 +1,90 @@
+package classifier
+
+import (
+	"testing"
+)
+
+// fullRows computes full-catalog metric rows for the given pair indices,
+// the shape the feature store serves.
+func fullRows(idx []int) [][]float64 {
+	rows := make([][]float64, len(idx))
+	for k, i := range idx {
+		a, b := testW.Values(i)
+		rows[k] = testCat.Compute(a, b)
+	}
+	return rows
+}
+
+// TestTrainRowsMatchesTrain verifies the row-based training path produces a
+// matcher identical in behavior to the direct path: same probabilities on
+// every test pair (the network inputs are bit-identical, so training is).
+func TestTrainRowsMatchesTrain(t *testing.T) {
+	cfg := Config{Epochs: 20, Seed: 5}
+	direct, err := Train(testW, testCat, testSplit.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRows, err := TrainRows(testW, testCat, testSplit.Train, fullRows(testSplit.Train), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testRows := fullRows(testSplit.Test)
+	for k, i := range testSplit.Test {
+		want := direct.Prob(testW, i)
+		got := viaRows.ProbRow(testRows[k])
+		if want != got {
+			t.Fatalf("pair %d: TrainRows prob %v, Train prob %v", i, got, want)
+		}
+	}
+}
+
+// TestLabelRowsMatchesLabel checks the row-based labeling against the
+// per-pair path, including hidden representations.
+func TestLabelRowsMatchesLabel(t *testing.T) {
+	m := trainTestMatcher(t)
+	idx := testSplit.Valid
+	rows := fullRows(idx)
+	direct := m.Label(testW, idx)
+	viaRows := m.LabelRows(testW, idx, rows)
+	for k := range idx {
+		if direct.Prob[k] != viaRows.Prob[k] ||
+			direct.Label[k] != viaRows.Label[k] ||
+			direct.Truth[k] != viaRows.Truth[k] {
+			t.Fatalf("position %d: LabelRows %+v/%v/%v, Label %+v/%v/%v", k,
+				viaRows.Prob[k], viaRows.Label[k], viaRows.Truth[k],
+				direct.Prob[k], direct.Label[k], direct.Truth[k])
+		}
+	}
+	for k, i := range idx[:5] {
+		want := m.Hidden(testW, i)
+		got := m.HiddenRow(rows[k])
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("hidden[%d][%d] differs", k, j)
+			}
+		}
+	}
+}
+
+// TestEnsembleRowsMatches verifies that row-based bootstrap training draws
+// the same resamples and trains the same members as the direct path.
+func TestEnsembleRowsMatches(t *testing.T) {
+	cfg := Config{Epochs: 8, Seed: 11}
+	direct, err := TrainEnsemble(testW, testCat, testSplit.Train, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRows, err := TrainEnsembleRows(testW, testCat, testSplit.Train, fullRows(testSplit.Train), 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Size() != viaRows.Size() {
+		t.Fatalf("ensemble sizes differ: %d vs %d", direct.Size(), viaRows.Size())
+	}
+	testRows := fullRows(testSplit.Test[:20])
+	for k, i := range testSplit.Test[:20] {
+		if want, got := direct.VoteProb(testW, i), viaRows.VoteProbRow(testRows[k]); want != got {
+			t.Fatalf("pair %d: VoteProbRow %v, VoteProb %v", i, got, want)
+		}
+	}
+}

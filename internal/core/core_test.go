@@ -276,7 +276,9 @@ func TestGradientsMatchFiniteDifferences(t *testing.T) {
 	}
 	for _, inst := range insts {
 		grads := make([]float64, m.paramCount())
-		m.backprop(inst, 1.0, grads)
+		pc := m.newParamCache()
+		m.fillParamCache(pc)
+		m.backpropCached(inst, 1.0, grads, pc)
 
 		gamma := func() float64 { return m.surrogate(m.fuse(inst), inst.Label) }
 		check := func(name string, param *float64, analytic float64) {

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/classifier"
+	"repro/internal/par"
 	"repro/internal/rules"
 	"repro/internal/stats"
 )
@@ -279,13 +280,34 @@ func (m *Model) surrogate(f fusion, label bool) float64 {
 // Risk returns only the VaR risk of the instance.
 func (m *Model) Risk(inst Instance) float64 { return m.Assess(inst).Risk }
 
-// RiskAll scores a batch of instances.
+// RiskAll scores a batch of instances in parallel, computing the softplus
+// parameter transforms once for the whole batch. Results are identical to
+// per-instance Risk calls.
 func (m *Model) RiskAll(insts []Instance) []float64 {
+	pc := m.newParamCache()
+	m.fillParamCache(pc)
 	out := make([]float64, len(insts))
-	for i, inst := range insts {
-		out[i] = m.Risk(inst)
-	}
+	par.For(len(insts), func(i int) {
+		out[i] = m.riskCached(insts[i], pc)
+	})
 	return out
+}
+
+// riskCached is Assess's risk computation over the cached transforms.
+func (m *Model) riskCached(inst Instance, pc *paramCache) float64 {
+	f := m.fuseCached(inst, pc)
+	if m.cfg.UntruncatedInference {
+		return m.surrogate(f, inst.Label)
+	}
+	tn, err := stats.NewTruncNormal(f.mu, f.sigma, 0, 1)
+	if err != nil {
+		// Unreachable: [0,1] is never empty. Fall back to the surrogate.
+		return m.surrogate(f, inst.Label)
+	}
+	if inst.Label {
+		return 1 - tn.Quantile(1-m.cfg.Theta)
+	}
+	return tn.Quantile(m.cfg.Theta)
 }
 
 // Contribution is one line of a risk explanation: a feature, its normalized

@@ -4,8 +4,90 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
+
+// paramCache holds the softplus-transformed parameters (and their
+// gradients) for one epoch. The transforms depend only on the raw
+// parameters, which change once per epoch, so computing them per instance —
+// as the scalar fuse/backprop path does — wasted a softplus and its exp per
+// fired feature per instance. Values are the identical floats the scalar
+// path computes, so cached evaluation is bit-identical.
+type paramCache struct {
+	w    []float64 // softplus(rho)
+	gw   []float64 // softplusGrad(rho)
+	rsd  []float64 // softplus(rsdRaw)
+	grsd []float64 // softplusGrad(rsdRaw)
+	sig  []float64 // rsd * mu (the feature sigma)
+
+	alpha, beta   float64
+	galpha, gbeta float64
+
+	bsig    []float64 // softplus(bucketR)
+	gbucket []float64 // softplusGrad(bucketR)
+}
+
+func (m *Model) newParamCache() *paramCache {
+	F := len(m.features)
+	return &paramCache{
+		w: make([]float64, F), gw: make([]float64, F),
+		rsd: make([]float64, F), grsd: make([]float64, F), sig: make([]float64, F),
+		bsig: make([]float64, len(m.bucketR)), gbucket: make([]float64, len(m.bucketR)),
+	}
+}
+
+func (m *Model) fillParamCache(pc *paramCache) {
+	for j := range m.rho {
+		pc.w[j] = stats.Softplus(m.rho[j])
+		pc.gw[j] = stats.SoftplusGrad(m.rho[j])
+		pc.rsd[j] = stats.Softplus(m.rsdRaw[j])
+		pc.grsd[j] = stats.SoftplusGrad(m.rsdRaw[j])
+		pc.sig[j] = pc.rsd[j] * m.features[j].Mu
+	}
+	pc.alpha = stats.Softplus(m.alphaR)
+	pc.beta = stats.Softplus(m.betaR)
+	pc.galpha = stats.SoftplusGrad(m.alphaR)
+	pc.gbeta = stats.SoftplusGrad(m.betaR)
+	for b := range m.bucketR {
+		pc.bsig[b] = stats.Softplus(m.bucketR[b])
+		pc.gbucket[b] = stats.SoftplusGrad(m.bucketR[b])
+	}
+}
+
+// fuseCached is fuse with the epoch's parameter cache; it computes the same
+// floats as the scalar path.
+func (m *Model) fuseCached(inst Instance, pc *paramCache) fusion {
+	var f fusion
+	d := inst.Prob - 0.5
+	f.wc = -math.Exp(-d*d/(2*pc.alpha*pc.alpha)) + pc.beta + 1
+	f.bucket = m.cal.Bucket(inst.Prob)
+	f.sigC = pc.bsig[f.bucket] * inst.Prob
+	f.S = f.wc
+	numMu := f.wc * inst.Prob
+	numVar := f.wc * f.wc * f.sigC * f.sigC
+	for _, j := range inst.Fired {
+		w := pc.w[j]
+		muJ := m.features[j].Mu
+		sigJ := pc.sig[j]
+		f.S += w
+		numMu += w * muJ
+		numVar += w * w * sigJ * sigJ
+	}
+	f.mu = numMu / f.S
+	if m.cfg.NoVariance {
+		return f
+	}
+	f.vr = numVar / (f.S * f.S)
+	f.sigma = math.Sqrt(f.vr)
+	return f
+}
+
+// fitBlock is the instance-block granularity of parallel backpropagation.
+// Blocks bound the per-instance gradient shard memory; the shards merge in
+// instance order, so the accumulated gradient is bit-identical to the
+// serial loop whatever the worker count.
+const fitBlock = 64
 
 // Fit tunes the model's learnable parameters — rule weights, rule RSDs, the
 // influence-function shape (alpha, beta) and the per-bucket classifier RSDs
@@ -15,6 +97,12 @@ import (
 // analytic (chain rule through the portfolio aggregation and the smooth VaR
 // surrogate) and applied with Adam. L1+L2 regularization is added on the
 // rule weights (Section 6.2.3).
+//
+// The per-epoch forward pass and backpropagation run in parallel across
+// instances: forward writes are per-instance slots, and backprop
+// accumulates per-instance gradient shards that are merged in instance
+// order — both bit-identical to the serial loop for a fixed seed,
+// independent of GOMAXPROCS.
 func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
 	if len(insts) != len(mislabeled) {
 		return errMismatch(len(insts), len(mislabeled))
@@ -31,11 +119,14 @@ func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
 		return ErrNoTrainingSignal
 	}
 
-	opt := newAdam(m.paramCount(), m.cfg.LR)
+	P := m.paramCount()
+	opt := newAdam(P, m.cfg.LR)
 	rng := stats.NewRNG(m.cfg.Seed)
-	grads := make([]float64, m.paramCount())
+	pc := m.newParamCache()
+	grads := make([]float64, P)
 	gammas := make([]float64, len(insts))
 	coef := make([]float64, len(insts))
+	shards := make([]float64, fitBlock*P) // per-instance gradient shards, zeroed outside touched slots
 
 	allPairs := len(misIdx) * len(corIdx)
 	sample := m.cfg.PairSample
@@ -44,11 +135,18 @@ func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
 	}
 
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
-		// Forward: surrogate VaR for every instance.
-		for i, inst := range insts {
-			gammas[i] = m.surrogate(m.fuse(inst), inst.Label)
-		}
+		m.fillParamCache(pc)
+
+		// Forward: surrogate VaR for every instance, in parallel
+		// (disjoint per-instance writes).
+		par.For(len(insts), func(i int) {
+			gammas[i] = m.surrogate(m.fuseCached(insts[i], pc), insts[i].Label)
+		})
+
 		// Pairwise loss coefficients dL/dgamma_i accumulated per instance.
+		// Kept serial: the sampled variant consumes the RNG sequentially and
+		// the dense variant's accumulation order is part of the
+		// bit-reproducibility contract.
 		for i := range coef {
 			coef[i] = 0
 		}
@@ -71,16 +169,30 @@ func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
 		}
 		scale := 1 / float64(sample)
 
-		// Backward: one backprop per instance with nonzero coefficient.
+		// Backward: per-instance gradient shards computed in parallel
+		// block by block, merged serially in instance order.
 		for i := range grads {
 			grads[i] = 0
 		}
-		for i, inst := range insts {
-			if coef[i] != 0 {
-				m.backprop(inst, coef[i]*scale, grads)
+		for lo := 0; lo < len(insts); lo += fitBlock {
+			hi := lo + fitBlock
+			if hi > len(insts) {
+				hi = len(insts)
+			}
+			par.For(hi-lo, func(k int) {
+				i := lo + k
+				if coef[i] != 0 {
+					m.backpropCached(insts[i], coef[i]*scale, shards[k*P:(k+1)*P], pc)
+				}
+			})
+			for k := 0; k < hi-lo; k++ {
+				i := lo + k
+				if coef[i] != 0 {
+					m.mergeShard(insts[i], shards[k*P:(k+1)*P], grads)
+				}
 			}
 		}
-		m.addRegGrads(grads)
+		m.addRegGradsCached(grads, pc)
 		m.applyStep(opt, grads)
 	}
 	return nil
@@ -135,10 +247,15 @@ func (m *Model) applyStep(opt *adam, grads []float64) {
 	}
 }
 
-// backprop accumulates d(coef*gamma)/dparam into grads for one instance.
+// backpropCached accumulates d(coef*gamma)/dparam for one instance into the
+// shard (a scratch gradient vector whose touched slots are zero on entry;
+// mergeShard re-zeroes them after folding into the global gradient). The
+// touched slots are exactly: the fired features' weight and RSD slots, the
+// two influence slots, and the instance's bucket slot. Firing lists contain
+// each feature at most once, so each slot is written once.
 // See DESIGN.md "Risk-model math as implemented" for the derivation.
-func (m *Model) backprop(inst Instance, coef float64, grads []float64) {
-	f := m.fuse(inst)
+func (m *Model) backpropCached(inst Instance, coef float64, shard []float64, pc *paramCache) {
+	f := m.fuseCached(inst, pc)
 	F := len(m.features)
 
 	sgnMu := 1.0
@@ -157,19 +274,18 @@ func (m *Model) backprop(inst Instance, coef float64, grads []float64) {
 
 	// Rule features.
 	for _, j := range inst.Fired {
-		w := stats.Softplus(m.rho[j])
+		w := pc.w[j]
 		muJ := m.features[j].Mu
-		rsdJ := stats.Softplus(m.rsdRaw[j])
-		sigJ := rsdJ * muJ
+		sigJ := pc.sig[j]
 
 		dMudW := (muJ - f.mu) / f.S
 		dVdW := (2*w*sigJ*sigJ)/(f.S*f.S) - 2*f.vr/f.S
 		dW := dGdMu*dMudW + dGdV*dVdW
-		grads[j] += dW * stats.SoftplusGrad(m.rho[j])
+		shard[j] += dW * pc.gw[j]
 
 		dVdSigJ := 2 * w * w * sigJ / (f.S * f.S)
 		dRSD := dGdV * dVdSigJ * muJ
-		grads[F+j] += dRSD * stats.SoftplusGrad(m.rsdRaw[j])
+		shard[F+j] += dRSD * pc.grsd[j]
 	}
 
 	// Classifier-output feature: weight wc = beta + 1 - E with
@@ -179,24 +295,43 @@ func (m *Model) backprop(inst Instance, coef float64, grads []float64) {
 	dVdWc := (2*f.wc*f.sigC*f.sigC)/(f.S*f.S) - 2*f.vr/f.S
 	dWc := dGdMu*dMudWc + dGdV*dVdWc
 
-	alpha, _ := m.InfluenceParams()
 	d := p - 0.5
-	E := math.Exp(-d * d / (2 * alpha * alpha))
-	dWcdAlpha := -E * d * d / (alpha * alpha * alpha)
-	grads[2*F] += dWc * dWcdAlpha * stats.SoftplusGrad(m.alphaR)
-	grads[2*F+1] += dWc * stats.SoftplusGrad(m.betaR) // dwc/dbeta = 1
+	E := math.Exp(-d * d / (2 * pc.alpha * pc.alpha))
+	dWcdAlpha := -E * d * d / (pc.alpha * pc.alpha * pc.alpha)
+	shard[2*F] += dWc * dWcdAlpha * pc.galpha
+	shard[2*F+1] += dWc * pc.gbeta // dwc/dbeta = 1
 
 	dVdSigC := 2 * f.wc * f.wc * f.sigC / (f.S * f.S)
 	dBucket := dGdV * dVdSigC * p
-	grads[2*F+2+f.bucket] += dBucket * stats.SoftplusGrad(m.bucketR[f.bucket])
+	shard[2*F+2+f.bucket] += dBucket * pc.gbucket[f.bucket]
 }
 
-// addRegGrads adds the L1+L2 penalty gradients on the rule weights.
-func (m *Model) addRegGrads(grads []float64) {
+// mergeShard folds one instance's gradient shard into the global gradient,
+// visiting the touched slots in the same order the serial loop wrote them,
+// and re-zeroes the shard for reuse.
+func (m *Model) mergeShard(inst Instance, shard, grads []float64) {
+	F := len(m.features)
+	for _, j := range inst.Fired {
+		grads[j] += shard[j]
+		shard[j] = 0
+		grads[F+j] += shard[F+j]
+		shard[F+j] = 0
+	}
+	grads[2*F] += shard[2*F]
+	shard[2*F] = 0
+	grads[2*F+1] += shard[2*F+1]
+	shard[2*F+1] = 0
+	b := 2*F + 2 + m.cal.Bucket(inst.Prob)
+	grads[b] += shard[b]
+	shard[b] = 0
+}
+
+// addRegGradsCached adds the L1+L2 penalty gradients on the rule weights
+// using the epoch's cached transforms.
+func (m *Model) addRegGradsCached(grads []float64, pc *paramCache) {
 	for j := range m.rho {
-		w := stats.Softplus(m.rho[j])
-		g := m.cfg.L1 + 2*m.cfg.L2*w // d/dw (L1*w + L2*w^2); w > 0 so |w| = w
-		grads[j] += g * stats.SoftplusGrad(m.rho[j])
+		g := m.cfg.L1 + 2*m.cfg.L2*pc.w[j] // d/dw (L1*w + L2*w^2); w > 0 so |w| = w
+		grads[j] += g * pc.gw[j]
 	}
 }
 

@@ -223,10 +223,10 @@ func Fig11(profile string, pairs, reps int, s Settings) (*Fig11Result, error) {
 	_ = sts
 	res := &Fig11Result{Dataset: profile, Reps: reps, PairsPer: pairs}
 	for rep := 0; rep < reps; rep++ {
-		// Subsample the test part.
+		// Subsample the test part; rows come straight from the lab's store.
 		sub := subsample(lab.Split.Test, pairs, s.Seed+uint64(rep)*13)
-		subLab := lab.Matcher.Label(lab.W, sub)
 		subX := rulesMatrix(lab, sub)
+		subLab := lab.Matcher.LabelRows(lab.W, sub, subX)
 		bad := make([]bool, len(sub))
 		for k := range sub {
 			bad[k] = subLab.Mislabeled(k)
@@ -364,7 +364,7 @@ func Fig13RiskTraining(profile string, sizes []int, s Settings) ([]ScalabilityPo
 		}
 		idx := lab.Split.Valid[:n]
 		X := rulesMatrix(lab, idx)
-		labTrain := lab.Matcher.Label(lab.W, idx)
+		labTrain := lab.Matcher.LabelRows(lab.W, idx, X)
 		start := time.Now()
 		if err := trainRiskModel(lab, rs, sts, X, labTrain); err != nil {
 			return nil, err
@@ -494,7 +494,7 @@ func subsample(idx []int, n int, seed uint64) []int {
 }
 
 func rulesMatrix(lab *Lab, idx []int) [][]float64 {
-	return rulesMatrixW(lab.W, lab.Cat, idx)
+	return lab.Store.Rows(idx)
 }
 
 func absf(x float64) float64 {

@@ -6,15 +6,9 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/classifier"
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/eval"
-	"repro/internal/metrics"
 	"repro/internal/rules"
 )
-
-func rulesMatrixW(w *dataset.Workload, cat *metrics.Catalog, idx []int) [][]float64 {
-	return rules.Matrix(w, cat, idx)
-}
 
 func auroc(scores []float64, positives []bool) float64 {
 	return eval.AUROC(scores, positives)
@@ -23,18 +17,22 @@ func auroc(scores []float64, positives []bool) float64 {
 // learnRiskOn trains a risk model on the lab's validation part (with the
 // given pre-generated rules) and scores an arbitrary subset of test pairs.
 func learnRiskOn(lab *Lab, rs []rules.Rule, idx []int, X [][]float64, l classifier.Labeled) ([]float64, error) {
-	sts := rules.Stats(rs, lab.TrainX, lab.TrainY)
+	rset, err := lab.compile(rs)
+	if err != nil {
+		return nil, err
+	}
+	sts := rset.Stats(lab.TrainX, lab.TrainY)
 	model, err := core.New(core.BuildFeatures(rs, sts), core.Config{
 		Epochs: lab.Settings.RiskEpochs, Seed: lab.Settings.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	validInsts, validBad := core.BuildInstances(rules.Apply(rs, lab.ValidX), lab.ValidLab)
+	validInsts, validBad := core.BuildInstances(rset.Apply(lab.ValidX), lab.ValidLab)
 	if err := model.Fit(validInsts, validBad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
 		return nil, err
 	}
-	insts, _ := core.BuildInstances(rules.Apply(rs, X), l)
+	insts, _ := core.BuildInstances(rset.Apply(X), l)
 	_ = idx
 	return model.RiskAll(insts), nil
 }
@@ -49,13 +47,17 @@ func holoCleanOn(lab *Lab, X [][]float64, l classifier.Labeled) ([]float64, []ru
 // trainRiskModel fits a fresh risk model on the given training rows
 // (used by the Figure 13(b) runtime measurement).
 func trainRiskModel(lab *Lab, rs []rules.Rule, sts []rules.Stat, X [][]float64, l classifier.Labeled) error {
+	rset, err := lab.compile(rs)
+	if err != nil {
+		return err
+	}
 	model, err := core.New(core.BuildFeatures(rs, sts), core.Config{
 		Epochs: lab.Settings.RiskEpochs, Seed: lab.Settings.Seed,
 	})
 	if err != nil {
 		return err
 	}
-	insts, bad := core.BuildInstances(rules.Apply(rs, X), l)
+	insts, bad := core.BuildInstances(rset.Apply(X), l)
 	if err := model.Fit(insts, bad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dtree"
 	"repro/internal/eval"
+	"repro/internal/featstore"
 	"repro/internal/metrics"
 	"repro/internal/rules"
 )
@@ -52,11 +53,14 @@ func Default() Settings {
 
 // Lab is one prepared experimental setup: a generated workload, its split,
 // a trained classifier and its labelings — everything the five risk
-// methods consume.
+// methods consume. All metric matrices are views into the lab's feature
+// store, so repeated evaluations (subsample sweeps, ensemble members,
+// sensitivity curves) never recompute a pair's metrics.
 type Lab struct {
 	Settings Settings
 	W        *dataset.Workload
 	Cat      *metrics.Catalog
+	Store    *featstore.Store
 	Split    dataset.Split
 	Matcher  *classifier.Matcher
 	ValidLab classifier.Labeled
@@ -91,19 +95,23 @@ func newLabFrom(w *dataset.Workload, ratio string, s Settings) (*Lab, error) {
 }
 
 func newLabFromSplit(w *dataset.Workload, cat *metrics.Catalog, split dataset.Split, s Settings) (*Lab, error) {
-	m, err := classifier.Train(w, cat, split.Train, classifier.Config{
+	store := featstore.New(w, cat)
+	trainX := store.Rows(split.Train)
+	m, err := classifier.TrainRows(w, cat, split.Train, trainX, classifier.Config{
 		Epochs: s.ClassifierEpochs, Seed: s.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
+	validX := store.Rows(split.Valid)
+	testX := store.Rows(split.Test)
 	lab := &Lab{
-		Settings: s, W: w, Cat: cat, Split: split, Matcher: m,
-		ValidLab: m.Label(w, split.Valid),
-		TestLab:  m.Label(w, split.Test),
-		TrainX:   rules.Matrix(w, cat, split.Train),
-		ValidX:   rules.Matrix(w, cat, split.Valid),
-		TestX:    rules.Matrix(w, cat, split.Test),
+		Settings: s, W: w, Cat: cat, Store: store, Split: split, Matcher: m,
+		ValidLab: m.LabelRows(w, split.Valid, validX),
+		TestLab:  m.LabelRows(w, split.Test, testX),
+		TrainX:   trainX,
+		ValidX:   validX,
+		TestX:    testX,
 	}
 	lab.TrainY = make([]bool, len(split.Train))
 	for k, i := range split.Train {
@@ -124,15 +132,34 @@ func (l *Lab) Mislabels() []bool {
 // GenerateFeatures runs risk-feature generation on the classifier training
 // data and returns the rules with their prior-expectation statistics.
 func (l *Lab) GenerateFeatures() ([]rules.Rule, []rules.Stat) {
+	rs, _, sts := l.generateCompiled()
+	return rs, sts
+}
+
+// generateCompiled is GenerateFeatures plus the compiled rule set, so
+// callers that go on to evaluate the rules don't compile twice.
+func (l *Lab) generateCompiled() ([]rules.Rule, *rules.RuleSet, []rules.Stat) {
 	rs := dtree.GenerateRiskFeatures(l.TrainX, l.TrainY, l.Cat.Names(), l.Settings.RuleGen)
-	return rs, rules.Stats(rs, l.TrainX, l.TrainY)
+	rset, err := l.compile(rs)
+	if err != nil {
+		// Generated rules always fit the generating catalog; a mismatch is
+		// a programming error.
+		panic(err)
+	}
+	return rs, rset, rset.Stats(l.TrainX, l.TrainY)
+}
+
+// compile compiles rules against the lab's store width, enforcing the
+// schema/rule width invariant loudly.
+func (l *Lab) compile(rs []rules.Rule) (*rules.RuleSet, error) {
+	return rules.Compile(rs, l.Store.Width())
 }
 
 // LearnRiskScores runs the full LearnRisk method: features from the
 // training data, model trained on riskTrain (defaults to the validation
 // part when nil), scores for the test part.
 func (l *Lab) LearnRiskScores(riskTrainIdx []int) ([]float64, error) {
-	rs, sts := l.GenerateFeatures()
+	rs, rset, sts := l.generateCompiled()
 	model, err := core.New(core.BuildFeatures(rs, sts), core.Config{
 		Epochs: l.Settings.RiskEpochs, Seed: l.Settings.Seed,
 	})
@@ -145,14 +172,14 @@ func (l *Lab) LearnRiskScores(riskTrainIdx []int) ([]float64, error) {
 	if trainIdx == nil {
 		trainX, trainLab = l.ValidX, l.ValidLab
 	} else {
-		trainX = rules.Matrix(l.W, l.Cat, trainIdx)
-		trainLab = l.Matcher.Label(l.W, trainIdx)
+		trainX = l.Store.Rows(trainIdx)
+		trainLab = l.Matcher.LabelRows(l.W, trainIdx, trainX)
 	}
-	insts, bad := core.BuildInstances(rules.Apply(rs, trainX), trainLab)
+	insts, bad := core.BuildInstances(rset.Apply(trainX), trainLab)
 	if err := model.Fit(insts, bad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
 		return nil, err
 	}
-	testInsts, _ := core.BuildInstances(rules.Apply(rs, l.TestX), l.TestLab)
+	testInsts, _ := core.BuildInstances(rset.Apply(l.TestX), l.TestLab)
 	return model.RiskAll(testInsts), nil
 }
 
@@ -160,18 +187,20 @@ func (l *Lab) LearnRiskScores(riskTrainIdx []int) ([]float64, error) {
 func (l *Lab) BaselineScores() []float64 { return baselines.Baseline(l.TestLab) }
 
 // UncertaintyScores runs the Uncertainty method [40] on the test part.
+// Bootstrap members train on store views of the training rows, and every
+// member votes on the same precomputed test rows.
 func (l *Lab) UncertaintyScores() ([]float64, error) {
-	e, err := classifier.TrainEnsemble(l.W, l.Cat, l.Split.Train, l.Settings.EnsembleSize,
+	e, err := classifier.TrainEnsembleRows(l.W, l.Cat, l.Split.Train, l.TrainX, l.Settings.EnsembleSize,
 		classifier.Config{Epochs: l.Settings.ClassifierEpochs / 2, Seed: l.Settings.Seed + 100})
 	if err != nil {
 		return nil, err
 	}
-	return baselines.Uncertainty(e, l.W, l.Split.Test), nil
+	return baselines.UncertaintyRows(e, l.TestX), nil
 }
 
 // TrustScoreScores runs the TrustScore method [35] on the test part.
 func (l *Lab) TrustScoreScores() []float64 {
-	return baselines.TrustScores(l.Matcher, l.W, l.Split.Train, l.TestLab, 5)
+	return baselines.TrustScoresRows(l.Matcher, l.TrainX, l.TrainY, l.TestLab, l.TestX, 5)
 }
 
 // StaticRiskScores runs the StaticRisk method [14] on the test part.

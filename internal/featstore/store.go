@@ -1,0 +1,179 @@
+// Package featstore provides the workload-level columnar metric store: the
+// basic-metric vectors of all candidate pairs of one workload, computed
+// lazily (each pair exactly once) into a flat row-major backing array, with
+// every downstream consumer — classifier feature extraction, rule
+// generation and evaluation, risk training, the experiment figures — taking
+// index views into it instead of recomputing metrics.
+//
+// Before the store, one pipeline run computed a pair's metrics several
+// times over: the classifier computed its similarity view for training and
+// again for every labeling, the rule layer computed the full catalog for
+// the same splits, and the bootstrap ensemble recomputed the same test
+// pair's features once per member. The store computes each pair's full
+// catalog row once and serves projections of it everywhere, and it memoizes
+// the per-record value preparation (normalization, tokenization, entity
+// splits) that dominates metric cost, so a record shared by many candidate
+// pairs is prepared once.
+package featstore
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/par"
+)
+
+// Store is the columnar metric store of one workload under one catalog.
+// Rows are computed lazily and cached; the zero cost of a repeated request
+// is what turns the repeated-evaluation experiment loops (Figure 11/12/13
+// sweeps, ensemble training) from quadratic recomputation into array reads.
+//
+// A Store is safe for use from one goroutine at a time; the internal row
+// fill parallelizes across pairs with disjoint writes.
+type Store struct {
+	w     *dataset.Workload
+	cat   *metrics.Catalog
+	width int
+
+	data  []float64 // row-major, len(w.Pairs) × width
+	ready []bool    // per pair
+
+	needs []metrics.Need        // per attribute, derived once from the catalog
+	prepL [][]*metrics.Prepared // per left-table record, per attribute; nil = not yet prepared
+	prepR [][]*metrics.Prepared // per right-table record, per attribute; nil = not yet prepared
+}
+
+// New builds an empty store over the workload's candidate pairs. Nothing is
+// computed until rows are requested.
+func New(w *dataset.Workload, cat *metrics.Catalog) *Store {
+	width := len(cat.Metrics)
+	n := len(w.Pairs)
+	s := &Store{
+		w:     w,
+		cat:   cat,
+		width: width,
+		data:  make([]float64, n*width),
+		ready: make([]bool, n),
+	}
+	return s
+}
+
+// Workload returns the workload the store is built over.
+func (s *Store) Workload() *dataset.Workload { return s.w }
+
+// Catalog returns the metric catalog the store evaluates.
+func (s *Store) Catalog() *metrics.Catalog { return s.cat }
+
+// Width returns the number of metric columns.
+func (s *Store) Width() int { return s.width }
+
+// NumPairs returns the number of candidate pairs the store covers.
+func (s *Store) NumPairs() int { return len(s.w.Pairs) }
+
+// prepareFor materializes the prepared attribute values of exactly the
+// records the given (missing) pairs reference, in parallel over records.
+// Each record value is prepared at most once no matter how many candidate
+// pairs reference it, and records never requested are never prepared — a
+// store over a large workload costs only what is actually read.
+func (s *Store) prepareFor(missing []int) {
+	if s.prepL == nil {
+		s.needs = s.cat.AttrNeeds()
+		s.prepL = make([][]*metrics.Prepared, len(s.w.Left.Records))
+		s.prepR = make([][]*metrics.Prepared, len(s.w.Right.Records))
+	}
+	var left, right []int
+	seenL := make(map[int]struct{})
+	seenR := make(map[int]struct{})
+	for _, i := range missing {
+		p := s.w.Pairs[i]
+		if s.prepL[p.Left] == nil {
+			if _, ok := seenL[p.Left]; !ok {
+				seenL[p.Left] = struct{}{}
+				left = append(left, p.Left)
+			}
+		}
+		if s.prepR[p.Right] == nil {
+			if _, ok := seenR[p.Right]; !ok {
+				seenR[p.Right] = struct{}{}
+				right = append(right, p.Right)
+			}
+		}
+	}
+	prep := func(t *dataset.Table, rows [][]*metrics.Prepared, idx []int) {
+		par.For(len(idx), func(k int) {
+			i := idx[k]
+			row := s.cat.PrepareRow(t.Records[i].Values)
+			for a, p := range row {
+				p.MaterializeNeeds(s.needs[a])
+			}
+			rows[i] = row
+		})
+	}
+	prep(s.w.Left, s.prepL, left)
+	prep(s.w.Right, s.prepR, right)
+}
+
+// Row returns the metric row of pair i (computing it if needed). The
+// returned slice is a view into the store; callers must not modify it.
+func (s *Store) Row(i int) []float64 {
+	if !s.ready[i] {
+		s.prepareFor([]int{i})
+		s.fill(i)
+		s.ready[i] = true
+	}
+	return s.view(i)
+}
+
+// Rows returns views of the metric rows of the given pair indices,
+// computing any missing rows in parallel. The rows alias the store's
+// backing array; callers must not modify them.
+func (s *Store) Rows(idx []int) [][]float64 {
+	var missing []int
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if i < 0 || i >= len(s.ready) {
+			panic(fmt.Sprintf("featstore: pair index %d out of range [0,%d)", i, len(s.ready)))
+		}
+		if !s.ready[i] && !seen[i] {
+			seen[i] = true
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		s.prepareFor(missing)
+		par.For(len(missing), func(k int) {
+			s.fill(missing[k])
+		})
+		for _, i := range missing {
+			s.ready[i] = true
+		}
+	}
+	out := make([][]float64, len(idx))
+	for k, i := range idx {
+		out[k] = s.view(i)
+	}
+	return out
+}
+
+// All returns views of every pair's metric row.
+func (s *Store) All() [][]float64 {
+	idx := make([]int, s.NumPairs())
+	for i := range idx {
+		idx[i] = i
+	}
+	return s.Rows(idx)
+}
+
+// fill computes pair i's metric row into the backing array.
+func (s *Store) fill(i int) {
+	p := s.w.Pairs[i]
+	s.cat.ComputePreparedInto(s.data[i*s.width:(i+1)*s.width], s.prepL[p.Left], s.prepR[p.Right])
+}
+
+// view returns the slice header for pair i's row (capacity-clipped so
+// appends by a misbehaving caller cannot bleed into the next row).
+func (s *Store) view(i int) []float64 {
+	return s.data[i*s.width : (i+1)*s.width : (i+1)*s.width]
+}
+

@@ -1,0 +1,130 @@
+package featstore
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func testWorkload(t testing.TB) (*dataset.Workload, *metrics.Catalog) {
+	t.Helper()
+	w := datagen.MustGenerate(datagen.DS(7), 0.02)
+	return w, w.Left.Schema.Catalog(w.Left, w.Right)
+}
+
+// TestRowsMatchDirectCompute is the store's core equivalence contract:
+// every stored row is bit-identical to cat.Compute on the pair's values.
+func TestRowsMatchDirectCompute(t *testing.T) {
+	w, cat := testWorkload(t)
+	s := New(w, cat)
+	idx := make([]int, len(w.Pairs))
+	for i := range idx {
+		idx[i] = i
+	}
+	rows := s.Rows(idx)
+	for k, i := range idx {
+		a, b := w.Values(i)
+		want := cat.Compute(a, b)
+		got := rows[k]
+		if len(got) != len(want) {
+			t.Fatalf("row %d width %d, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d col %d (%s): store=%v direct=%v",
+					i, j, cat.Metrics[j].Name, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRowsAreStableViews verifies laziness and caching: a repeated request
+// returns the same backing data, and partial requests only compute what is
+// asked for.
+func TestRowsAreStableViews(t *testing.T) {
+	w, cat := testWorkload(t)
+	s := New(w, cat)
+	first := s.Rows([]int{3, 1, 3})
+	if &first[0][0] != &first[2][0] {
+		t.Error("duplicate indices should alias the same backing row")
+	}
+	again := s.Rows([]int{1, 3})
+	if &again[0][0] != &first[1][0] {
+		t.Error("repeated request should return the same view")
+	}
+	if got := s.Row(3); &got[0] != &first[0][0] {
+		t.Error("Row and Rows should agree on backing storage")
+	}
+	computed := 0
+	for _, r := range s.ready {
+		if r {
+			computed++
+		}
+	}
+	if computed != 2 {
+		t.Errorf("computed %d rows, want exactly the 2 requested", computed)
+	}
+	// Record preparation is lazy too: only records referenced by the
+	// requested pairs are prepared.
+	preppedL := 0
+	for _, r := range s.prepL {
+		if r != nil {
+			preppedL++
+		}
+	}
+	if preppedL == 0 || preppedL == len(s.prepL) {
+		t.Errorf("prepared %d/%d left records, want only those of the 2 requested pairs", preppedL, len(s.prepL))
+	}
+}
+
+// TestRowsParallelWorkers recomputes the store under forced multi-worker
+// parallelism (meaningful even on one core) and compares to a fresh serial
+// store; also exercised under -race by the tier-1 script.
+func TestRowsParallelWorkers(t *testing.T) {
+	w, cat := testWorkload(t)
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	par8 := New(w, cat).All()
+	runtime.GOMAXPROCS(1)
+	serial := New(w, cat).All()
+	for i := range serial {
+		for j := range serial[i] {
+			if par8[i][j] != serial[i][j] {
+				t.Fatalf("row %d col %d differs between parallel and serial fill", i, j)
+			}
+		}
+	}
+}
+
+func TestRowsOutOfRangePanics(t *testing.T) {
+	w, cat := testWorkload(t)
+	s := New(w, cat)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range pair index")
+		}
+	}()
+	s.Rows([]int{len(w.Pairs)})
+}
+
+func BenchmarkStoreFill(b *testing.B) {
+	w, cat := testWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(w, cat).All()
+	}
+}
+
+func BenchmarkDirectCompute(b *testing.B) {
+	w, cat := testWorkload(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for p := range w.Pairs {
+			a, bb := w.Values(p)
+			cat.Compute(a, bb)
+		}
+	}
+}

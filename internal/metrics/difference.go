@@ -11,15 +11,22 @@ import (
 // They return 1 when a difference indicative of inequivalence is present and
 // 0 otherwise (or a count for the counting metrics), so that larger values
 // mean "more different" — the opposite orientation of similarity metrics.
+// As in similarity.go, each catalog metric has a string reference form and a
+// *Prepared core; the string form delegates to the core.
 
 // NonSubstring is the entity-name difference metric: 1 if neither normalized
 // value is a substring of the other. Missing values are treated as
 // uninformative (0).
 func NonSubstring(a, b string) float64 {
-	if strutil.Normalize(a) == "" || strutil.Normalize(b) == "" {
+	return nonSubstringP(Prepare(a), Prepare(b))
+}
+
+func nonSubstringP(pa, pb *Prepared) float64 {
+	na, nb := pa.Norm(), pb.Norm()
+	if na == "" || nb == "" {
 		return 0
 	}
-	if strutil.IsSubstring(a, b) {
+	if strutil.SubstringOfEither(na, nb) {
 		return 0
 	}
 	return 1
@@ -27,10 +34,15 @@ func NonSubstring(a, b string) float64 {
 
 // NonPrefix is 1 if neither normalized value is a prefix of the other.
 func NonPrefix(a, b string) float64 {
-	if strutil.Normalize(a) == "" || strutil.Normalize(b) == "" {
+	return nonPrefixP(Prepare(a), Prepare(b))
+}
+
+func nonPrefixP(pa, pb *Prepared) float64 {
+	na, nb := pa.Norm(), pb.Norm()
+	if na == "" || nb == "" {
 		return 0
 	}
-	if strutil.IsPrefix(a, b) {
+	if strutil.PrefixOfEither(na, nb) {
 		return 0
 	}
 	return 1
@@ -38,10 +50,15 @@ func NonPrefix(a, b string) float64 {
 
 // NonSuffix is 1 if neither normalized value is a suffix of the other.
 func NonSuffix(a, b string) float64 {
-	if strutil.Normalize(a) == "" || strutil.Normalize(b) == "" {
+	return nonSuffixP(Prepare(a), Prepare(b))
+}
+
+func nonSuffixP(pa, pb *Prepared) float64 {
+	na, nb := pa.Norm(), pb.Norm()
+	if na == "" || nb == "" {
 		return 0
 	}
-	if strutil.IsSuffix(a, b) {
+	if strutil.SuffixOfEither(na, nb) {
 		return 0
 	}
 	return 1
@@ -60,8 +77,12 @@ func abbrPair(a, b string) (string, string, bool) {
 // value is also not a substring of the other full value (covers
 // "VLDB" vs "Very Large Data Bases").
 func AbbrNonSubstring(a, b string) float64 {
-	aa, ab, ok := abbrPair(a, b)
-	if !ok {
+	return abbrNonSubstringP(Prepare(a), Prepare(b))
+}
+
+func abbrNonSubstringP(pa, pb *Prepared) float64 {
+	aa, ab := pa.Abbr(), pb.Abbr()
+	if aa == "" || ab == "" {
 		return 0
 	}
 	if strings.Contains(aa, ab) || strings.Contains(ab, aa) {
@@ -69,10 +90,7 @@ func AbbrNonSubstring(a, b string) float64 {
 	}
 	// Abbreviation of one side may match the raw text of the other
 	// (e.g. a = "vldb", b = "very large data bases": abbr(b) == "vldb").
-	na, nb := strutil.Normalize(a), strutil.Normalize(b)
-	compactA := strings.ReplaceAll(na, " ", "")
-	compactB := strings.ReplaceAll(nb, " ", "")
-	if strings.Contains(compactA, ab) || strings.Contains(compactB, aa) {
+	if strings.Contains(pa.Compact(), ab) || strings.Contains(pb.Compact(), aa) {
 		return 0
 	}
 	return 1
@@ -105,8 +123,11 @@ func AbbrNonSuffix(a, b string) float64 {
 // DiffCardinality is the entity-set difference metric: 1 if the two sets
 // contain different numbers of entity names. Empty sets are uninformative.
 func DiffCardinality(a, b string) float64 {
-	ea := strutil.SplitEntities(a)
-	eb := strutil.SplitEntities(b)
+	return diffCardinalityP(Prepare(a), Prepare(b))
+}
+
+func diffCardinalityP(pa, pb *Prepared) float64 {
+	ea, eb := pa.Entities(), pb.Entities()
 	if len(ea) == 0 || len(eb) == 0 {
 		return 0
 	}
@@ -122,23 +143,25 @@ func DiffCardinality(a, b string) float64 {
 // initials and typos). This is the paper's distinct-entity metric from
 // Example 1.
 func DistinctEntity(a, b string) float64 {
-	ea := strutil.SplitEntities(a)
-	eb := strutil.SplitEntities(b)
-	if len(ea) == 0 || len(eb) == 0 {
+	return distinctEntityP(Prepare(a), Prepare(b))
+}
+
+func distinctEntityP(pa, pb *Prepared) float64 {
+	if len(pa.Entities()) == 0 || len(pb.Entities()) == 0 {
 		return 0
 	}
 	distinct := 0
-	distinct += countUnmatched(ea, eb)
-	distinct += countUnmatched(eb, ea)
+	distinct += countUnmatchedP(pa, pb)
+	distinct += countUnmatchedP(pb, pa)
 	return float64(distinct)
 }
 
-func countUnmatched(from, against []string) int {
+func countUnmatchedP(from, against *Prepared) int {
 	n := 0
-	for _, e := range from {
+	for i := range from.Entities() {
 		matched := false
-		for _, o := range against {
-			if entityNamesMatch(e, o) {
+		for j := range against.Entities() {
+			if entityNamesMatchP(from, i, against, j) {
 				matched = true
 				break
 			}
@@ -150,17 +173,19 @@ func countUnmatched(from, against []string) int {
 	return n
 }
 
-// entityNamesMatch reports whether two normalized entity names plausibly
+// entityNamesMatchP reports whether two normalized entity names plausibly
 // refer to the same entity: high string similarity, or matching surname with
-// compatible initials ("t brinkhoff" vs "thomas brinkhoff").
-func entityNamesMatch(a, b string) bool {
-	if a == b {
+// compatible initials ("t brinkhoff" vs "thomas brinkhoff"). Entity names
+// from SplitEntities are already normalized, so their cached runes are
+// exactly what JaroWinkler would derive.
+func entityNamesMatchP(pa *Prepared, i int, pb *Prepared, j int) bool {
+	if pa.Entities()[i] == pb.Entities()[j] {
 		return true
 	}
-	if JaroWinkler(a, b) >= 0.9 {
+	if jaroWinklerRunes(pa.EntityRunes()[i], pb.EntityRunes()[j]) >= 0.9 {
 		return true
 	}
-	ta, tb := strings.Fields(a), strings.Fields(b)
+	ta, tb := pa.EntityFields()[i], pb.EntityFields()[j]
 	if len(ta) == 0 || len(tb) == 0 {
 		return false
 	}
@@ -175,9 +200,13 @@ func entityNamesMatch(a, b string) bool {
 // attributes: 1 if both values parse as numbers and differ, 0 otherwise.
 // It realizes the paper's running-example rule r_i[Year] != r_j[Year].
 func YearDiff(a, b string) float64 {
-	x, errA := parseNumber(a)
-	y, errB := parseNumber(b)
-	if errA != nil || errB != nil {
+	return yearDiffP(Prepare(a), Prepare(b))
+}
+
+func yearDiffP(pa, pb *Prepared) float64 {
+	x, okA := pa.Num()
+	y, okB := pb.Num()
+	if !okA || !okB {
 		return 0
 	}
 	if x != y {
@@ -189,9 +218,13 @@ func YearDiff(a, b string) float64 {
 // NumericGap returns the relative numeric gap |x-y|/max(|x|,|y|) in [0,1];
 // 0 when either value is unparseable (uninformative) or both are zero.
 func NumericGap(a, b string) float64 {
-	x, errA := parseNumber(a)
-	y, errB := parseNumber(b)
-	if errA != nil || errB != nil {
+	return numericGapP(Prepare(a), Prepare(b))
+}
+
+func numericGapP(pa, pb *Prepared) float64 {
+	x, okA := pa.Num()
+	y, okB := pb.Num()
+	if !okA || !okB {
 		return 0
 	}
 	m := math.Max(math.Abs(x), math.Abs(y))
@@ -211,8 +244,11 @@ func NumericGap(a, b string) float64 {
 // token of length ≥ 4 counts as key. This is the paper's diff-key-token
 // metric for text-description attributes.
 func DiffKeyToken(a, b string, c *Corpus) float64 {
-	sa := strutil.TokenSet(a)
-	sb := strutil.TokenSet(b)
+	return diffKeyTokenP(Prepare(a), Prepare(b), c)
+}
+
+func diffKeyTokenP(pa, pb *Prepared, c *Corpus) float64 {
+	sa, sb := pa.TokenSet(), pb.TokenSet()
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0
 	}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// messyValues exercises the normalization, tokenization, entity and numeric
+// edge cases the prepared fast path must reproduce exactly.
+var messyValues = []string{
+	"",
+	"   ",
+	"VLDB",
+	"Very Large Data Bases",
+	"J. Smith; Maria García and Wei-Chen Liu",
+	"t brinkhoff, thomas brinkhoff",
+	"The Quick!! Brown... fox (2019)",
+	"1999",
+	"$1,299.99",
+	"2001.5",
+	"éclair au café",
+	"a",
+	"data data data base",
+	"smith j",
+}
+
+// allCatalogMetrics instantiates every metric family once.
+func allCatalogMetrics() []Metric {
+	var out []Metric
+	for i, t := range []AttrType{EntityName, EntitySet, Text, Numeric, Categorical} {
+		out = append(out, ForAttribute(fmt.Sprintf("attr%d", i), 0, t)...)
+	}
+	return out
+}
+
+// TestPreparedMatchesStringPath verifies that every catalog metric's
+// prepared core returns bit-identical results to its string reference form,
+// with and without a corpus.
+func TestPreparedMatchesStringPath(t *testing.T) {
+	corpus := NewCorpus(messyValues, 0.5)
+	for _, m := range allCatalogMetrics() {
+		if m.PFn == nil {
+			t.Fatalf("metric %s has no prepared fast path", m.Name)
+		}
+		for _, c := range []*Corpus{nil, corpus} {
+			for _, a := range messyValues {
+				for _, b := range messyValues {
+					want := m.Fn(a, b, c)
+					got := m.PFn(Prepare(a), Prepare(b), c)
+					if want != got {
+						t.Fatalf("%s(%q, %q) prepared=%v reference=%v", m.Name, a, b, got, want)
+					}
+					// Materialized values must agree too (the store path).
+					got = m.PFn(Prepare(a).Materialize(), Prepare(b).Materialize(), c)
+					if want != got {
+						t.Fatalf("%s(%q, %q) materialized=%v reference=%v", m.Name, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedMatchesStringPathQuick property-tests the same equivalence on
+// arbitrary strings.
+func TestPreparedMatchesStringPathQuick(t *testing.T) {
+	ms := allCatalogMetrics()
+	f := func(a, b string) bool {
+		pa, pb := Prepare(a), Prepare(b)
+		for _, m := range ms {
+			if m.Fn(a, b, nil) != m.PFn(pa, pb, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComputeUsesSharedPreparation guards the per-row caching contract:
+// Compute must agree with metric-by-metric evaluation.
+func TestComputeUsesSharedPreparation(t *testing.T) {
+	cat := &Catalog{Corpora: make([]*Corpus, 2)}
+	cat.Metrics = append(cat.Metrics, ForAttribute("name", 0, EntityName)...)
+	cat.Metrics = append(cat.Metrics, ForAttribute("year", 1, Numeric)...)
+	cat.Corpora[0] = NewCorpus(messyValues, 0.5)
+
+	a := []string{"Very Large Data Bases", "1999"}
+	b := []string{"VLDB", "2001"}
+	got := cat.Compute(a, b)
+	for i, m := range cat.Metrics {
+		var c *Corpus
+		if m.Attr < len(cat.Corpora) {
+			c = cat.Corpora[m.Attr]
+		}
+		if want := m.Fn(a[m.Attr], b[m.Attr], c); got[i] != want {
+			t.Errorf("Compute[%d] (%s) = %v, want %v", i, m.Name, got[i], want)
+		}
+	}
+
+	// Short value slices behave as empty strings (legacy guard).
+	short := cat.Compute([]string{"only name"}, nil)
+	if len(short) != len(cat.Metrics) {
+		t.Fatalf("width %d, want %d", len(short), len(cat.Metrics))
+	}
+
+	// ComputePreparedInto agrees with Compute.
+	dst := make([]float64, len(cat.Metrics))
+	pa, pb := cat.PrepareRow(a), cat.PrepareRow(b)
+	for i := range pa {
+		pa[i].Materialize()
+		pb[i].Materialize()
+	}
+	cat.ComputePreparedInto(dst, pa, pb)
+	for i := range dst {
+		if dst[i] != got[i] {
+			t.Errorf("ComputePreparedInto[%d] = %v, want %v", i, dst[i], got[i])
+		}
+	}
+}

@@ -7,6 +7,13 @@
 // values and indicate inequivalence (non-substring, distinct-entity,
 // diff-key-token, ...). All metrics return float64 so that the decision-tree
 // rule generator can threshold them uniformly.
+//
+// Every catalog metric has two entry points: the exported string function
+// (the reference form, kept for tests and external callers) and an
+// unexported core over *Prepared values. The string functions are thin
+// wrappers around the cores, so the two paths agree bit-for-bit; the
+// feature-store pipeline uses the prepared cores to avoid re-normalizing and
+// re-tokenizing the same value for every metric and every candidate pair.
 package metrics
 
 import (
@@ -21,8 +28,10 @@ import (
 // Levenshtein returns the edit distance between the normalized forms of a
 // and b, in rune operations (insert, delete, substitute).
 func Levenshtein(a, b string) int {
-	ra := []rune(strutil.Normalize(a))
-	rb := []rune(strutil.Normalize(b))
+	return levenshteinRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+}
+
+func levenshteinRunes(ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
@@ -61,22 +70,27 @@ func min3(a, b, c int) int {
 // EditSimilarity returns 1 - Levenshtein(a,b)/max(len(a),len(b)), a
 // similarity in [0,1]. Two empty values are maximally similar.
 func EditSimilarity(a, b string) float64 {
-	na := len([]rune(strutil.Normalize(a)))
-	nb := len([]rune(strutil.Normalize(b)))
-	m := na
-	if nb > m {
-		m = nb
+	return editSimilarityP(Prepare(a), Prepare(b))
+}
+
+func editSimilarityP(pa, pb *Prepared) float64 {
+	ra, rb := pa.Runes(), pb.Runes()
+	m := len(ra)
+	if len(rb) > m {
+		m = len(rb)
 	}
 	if m == 0 {
 		return 1
 	}
-	return 1 - float64(Levenshtein(a, b))/float64(m)
+	return 1 - float64(levenshteinRunes(ra, rb))/float64(m)
 }
 
 // Jaro returns the Jaro similarity of the normalized values, in [0,1].
 func Jaro(a, b string) float64 {
-	ra := []rune(strutil.Normalize(a))
-	rb := []rune(strutil.Normalize(b))
+	return jaroRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+}
+
+func jaroRunes(ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -138,8 +152,19 @@ func Jaro(a, b string) float64 {
 // JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
 // scale of 0.1 and a maximum rewarded prefix of 4 runes.
 func JaroWinkler(a, b string) float64 {
-	j := Jaro(a, b)
-	p := strutil.CommonPrefixLen(strutil.Normalize(a), strutil.Normalize(b))
+	return jaroWinklerRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+}
+
+func jaroWinklerP(pa, pb *Prepared) float64 {
+	return jaroWinklerRunes(pa.Runes(), pb.Runes())
+}
+
+func jaroWinklerRunes(ra, rb []rune) float64 {
+	j := jaroRunes(ra, rb)
+	p := 0
+	for p < len(ra) && p < len(rb) && ra[p] == rb[p] {
+		p++
+	}
 	if p > 4 {
 		p = 4
 	}
@@ -149,26 +174,22 @@ func JaroWinkler(a, b string) float64 {
 // JaccardTokens returns the Jaccard index of the token sets of a and b.
 // Two empty token sets are maximally similar.
 func JaccardTokens(a, b string) float64 {
-	sa := strutil.TokenSet(a)
-	sb := strutil.TokenSet(b)
-	return jaccardSets(sa, sb)
+	return jaccardTokensP(Prepare(a), Prepare(b))
+}
+
+func jaccardTokensP(pa, pb *Prepared) float64 {
+	return jaccardSets(pa.TokenSet(), pb.TokenSet())
 }
 
 // JaccardEntities returns the Jaccard index of the entity-name sets of two
 // entity-set values such as author lists (the paper's entity-based
 // JaccardIndex in Example 1).
 func JaccardEntities(a, b string) float64 {
-	sa := entitySet(a)
-	sb := entitySet(b)
-	return jaccardSets(sa, sb)
+	return jaccardEntitiesP(Prepare(a), Prepare(b))
 }
 
-func entitySet(s string) map[string]struct{} {
-	set := make(map[string]struct{})
-	for _, e := range strutil.SplitEntities(s) {
-		set[e] = struct{}{}
-	}
-	return set
+func jaccardEntitiesP(pa, pb *Prepared) float64 {
+	return jaccardSets(pa.EntitySet(), pb.EntitySet())
 }
 
 func jaccardSets(sa, sb map[string]struct{}) float64 {
@@ -191,8 +212,11 @@ func jaccardSets(sa, sb map[string]struct{}) float64 {
 // OverlapTokens returns |A∩B| / min(|A|,|B|) over token sets (the overlap
 // coefficient). Empty-vs-empty is 1; empty-vs-nonempty is 0.
 func OverlapTokens(a, b string) float64 {
-	sa := strutil.TokenSet(a)
-	sb := strutil.TokenSet(b)
+	return overlapTokensP(Prepare(a), Prepare(b))
+}
+
+func overlapTokensP(pa, pb *Prepared) float64 {
+	sa, sb := pa.TokenSet(), pb.TokenSet()
 	if len(sa) == 0 && len(sb) == 0 {
 		return 1
 	}
@@ -228,8 +252,14 @@ func QGramJaccard(a, b string) float64 {
 // LCS returns the length of the longest common subsequence of the normalized
 // values, normalized by the length of the longer value, yielding [0,1].
 func LCS(a, b string) float64 {
-	ra := []rune(strutil.Normalize(a))
-	rb := []rune(strutil.Normalize(b))
+	return lcsRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+}
+
+func lcsP(pa, pb *Prepared) float64 {
+	return lcsRunes(pa.Runes(), pb.Runes())
+}
+
+func lcsRunes(ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -265,8 +295,14 @@ func LCS(a, b string) float64 {
 // of the best Jaro-Winkler match against tokens of b. Asymmetric by
 // definition; SymMongeElkan averages both directions.
 func MongeElkan(a, b string) float64 {
-	ta := strutil.Tokens(a)
-	tb := strutil.Tokens(b)
+	return mongeElkanP(Prepare(a), Prepare(b))
+}
+
+// mongeElkanP relies on tokens being normalization fixed points (a token is
+// a run of lowercase letters/digits, so Normalize(token) == token), which
+// lets the inner Jaro-Winkler run on the cached token runes directly.
+func mongeElkanP(pa, pb *Prepared) float64 {
+	ta, tb := pa.TokenRunes(), pb.TokenRunes()
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}
@@ -277,7 +313,7 @@ func MongeElkan(a, b string) float64 {
 	for _, x := range ta {
 		best := 0.0
 		for _, y := range tb {
-			if s := JaroWinkler(x, y); s > best {
+			if s := jaroWinklerRunes(x, y); s > best {
 				best = s
 			}
 		}
@@ -288,19 +324,28 @@ func MongeElkan(a, b string) float64 {
 
 // SymMongeElkan is the symmetric mean of MongeElkan in both directions.
 func SymMongeElkan(a, b string) float64 {
-	return (MongeElkan(a, b) + MongeElkan(b, a)) / 2
+	pa, pb := Prepare(a), Prepare(b)
+	return symMongeElkanP(pa, pb)
+}
+
+func symMongeElkanP(pa, pb *Prepared) float64 {
+	return (mongeElkanP(pa, pb) + mongeElkanP(pb, pa)) / 2
 }
 
 // NumericSimilarity parses a and b as numbers and returns
 // 1 - |x-y|/max(|x|,|y|), clamped to [0,1]. Unparseable or absent values
 // yield 0 unless both are absent (1: vacuously equal).
 func NumericSimilarity(a, b string) float64 {
-	x, errA := parseNumber(a)
-	y, errB := parseNumber(b)
-	if errA != nil && errB != nil {
+	return numericSimilarityP(Prepare(a), Prepare(b))
+}
+
+func numericSimilarityP(pa, pb *Prepared) float64 {
+	x, okA := pa.Num()
+	y, okB := pb.Num()
+	if !okA && !okB {
 		return 1
 	}
-	if errA != nil || errB != nil {
+	if !okA || !okB {
 		return 0
 	}
 	if x == y {
@@ -317,8 +362,13 @@ func NumericSimilarity(a, b string) float64 {
 	return s
 }
 
+// numberCleaner strips currency symbols and thousands separators; hoisted to
+// package level because strings.NewReplacer builds its matching machinery on
+// first use and is safe for concurrent use.
+var numberCleaner = strings.NewReplacer("$", "", ",", "", "£", "", "€", "")
+
 func parseNumber(s string) (float64, error) {
-	cleaned := strings.TrimSpace(strings.NewReplacer("$", "", ",", "", "£", "", "€", "").Replace(s))
+	cleaned := strings.TrimSpace(numberCleaner.Replace(s))
 	return strconv.ParseFloat(cleaned, 64)
 }
 
@@ -326,8 +376,11 @@ func parseNumber(s string) (float64, error) {
 // vectors of a and b under the supplied corpus statistics. A nil corpus
 // degrades to uniform IDF (plain cosine).
 func CosineTFIDF(a, b string, c *Corpus) float64 {
-	ca := strutil.TokenCounts(a)
-	cb := strutil.TokenCounts(b)
+	return cosineTFIDFP(Prepare(a), Prepare(b), c)
+}
+
+func cosineTFIDFP(pa, pb *Prepared, c *Corpus) float64 {
+	ca, cb := pa.TokenCounts(), pb.TokenCounts()
 	if len(ca) == 0 && len(cb) == 0 {
 		return 1
 	}
@@ -338,7 +391,7 @@ func CosineTFIDF(a, b string, c *Corpus) float64 {
 	// and map iteration order would make the result run-dependent, breaking
 	// the repository's bit-reproducibility guarantee.
 	dot, na, nb := 0.0, 0.0, 0.0
-	for _, t := range sortedKeys(ca) {
+	for _, t := range pa.SortedTokens() {
 		w := idfWeight(c, t)
 		va := float64(ca[t]) * w
 		na += va * va
@@ -346,7 +399,7 @@ func CosineTFIDF(a, b string, c *Corpus) float64 {
 			dot += va * float64(fb) * w
 		}
 	}
-	for _, t := range sortedKeys(cb) {
+	for _, t := range pb.SortedTokens() {
 		w := idfWeight(c, t)
 		vb := float64(cb[t]) * w
 		nb += vb * vb

@@ -1,7 +1,9 @@
-// Package par provides the small data-parallel loop used by the hot paths
-// of feature extraction: each index is processed exactly once by a bounded
-// pool of goroutines, writes go to disjoint slots, and the result is
-// bit-identical to the serial loop (order-independent per-slot writes).
+// Package par provides the small data-parallel loops used by the hot paths
+// of feature extraction, rule evaluation and risk training: each index is
+// processed exactly once by a bounded pool of goroutines, writes go to
+// disjoint slots, and the result is bit-identical to the serial loop
+// (order-independent per-slot writes, or chunk-deterministic merges handled
+// by the caller).
 package par
 
 import (
@@ -18,18 +20,49 @@ const minParallel = 64
 // large n and the plain loop for small n. fn must only write to state owned
 // by index i.
 func For(n int, fn func(i int)) {
+	ForWorkers(n, 0, fn)
+}
+
+// ForWorkers is For with an explicit worker bound; workers <= 0 means
+// GOMAXPROCS. With the default bound, small n takes the plain loop (the
+// goroutine setup cost dominates under minParallel); an explicit bound > 1
+// always parallelizes, which is how tests exercise genuinely concurrent
+// execution even for small slices on single-core hosts.
+func ForWorkers(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if n < minParallel || workers <= 1 {
+	if n < minParallel && workers <= 0 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	run(n, workers, fn)
+}
+
+func effectiveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// run executes the pool without a small-n shortcut; callers whose items are
+// individually heavy (chunks) use it via ForChunks.
+func run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = effectiveWorkers(workers)
 	if workers > n {
 		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -47,4 +80,46 @@ func For(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForChunks partitions [0, n) into contiguous chunks of the given size and
+// runs fn(c, lo, hi) for chunk c covering [lo, hi), in parallel across
+// chunks (each chunk is assumed heavy enough to justify a goroutine). The
+// chunk structure depends only on n and chunk — never on the worker count —
+// so per-chunk accumulations merged in chunk order are deterministic on any
+// machine. fn must only write to state owned by chunk c. chunk <= 0
+// defaults to minParallel.
+func ForChunks(n, chunk int, fn func(c, lo, hi int)) {
+	ForChunksWorkers(n, chunk, 0, fn)
+}
+
+// ForChunksWorkers is ForChunks with an explicit worker bound (<= 0 means
+// GOMAXPROCS).
+func ForChunksWorkers(n, chunk, workers int, fn func(c, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = minParallel
+	}
+	nc := (n + chunk - 1) / chunk
+	run(nc, workers, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(c, lo, hi)
+	})
+}
+
+// NumChunks returns the number of chunks ForChunks would use.
+func NumChunks(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = minParallel
+	}
+	return (n + chunk - 1) / chunk
 }

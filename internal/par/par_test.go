@@ -46,3 +46,69 @@ func TestForNegativeN(t *testing.T) {
 		t.Error("negative n should not invoke fn")
 	}
 }
+
+func TestForWorkersCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{1, 63, 64, 1000} {
+			counts := make([]int32, n)
+			ForWorkers(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		for _, tc := range []struct{ n, chunk int }{
+			{0, 10}, {1, 10}, {10, 3}, {64, 64}, {65, 64}, {1000, 128}, {7, 0},
+		} {
+			counts := make([]int32, tc.n)
+			var chunks atomic.Int32
+			ForChunksWorkers(tc.n, tc.chunk, workers, func(c, lo, hi int) {
+				chunks.Add(1)
+				if lo >= hi && tc.n > 0 {
+					t.Fatalf("empty chunk %d: [%d,%d)", c, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d chunk=%d: index %d visited %d times", tc.n, tc.chunk, i, c)
+				}
+			}
+			if want := NumChunks(tc.n, tc.chunk); int(chunks.Load()) != want {
+				t.Fatalf("n=%d chunk=%d: %d chunks, want %d", tc.n, tc.chunk, chunks.Load(), want)
+			}
+		}
+	}
+}
+
+// TestForChunksDeterministicStructure pins the worker-count independence of
+// the chunk layout: per-chunk accumulations merged in chunk order must be
+// identical whatever the parallelism.
+func TestForChunksDeterministicStructure(t *testing.T) {
+	n, chunk := 1003, 64
+	sum := func(workers int) []float64 {
+		partial := make([]float64, NumChunks(n, chunk))
+		ForChunksWorkers(n, chunk, workers, func(c, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += 1.0 / float64(i+1)
+			}
+			partial[c] = s
+		})
+		return partial
+	}
+	a, b := sum(1), sum(8)
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatalf("chunk %d differs between 1 and 8 workers", c)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package rules
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -41,7 +42,10 @@ type Predicate struct {
 	Threshold float64
 }
 
-// Holds reports whether the predicate holds on the metric vector x.
+// Holds reports whether the predicate holds on the metric vector x. The
+// out-of-range guard (false, never firing) is legacy behavior kept for the
+// scalar path; compiled RuleSets validate the width invariant once at
+// Compile time and reject mismatched rules loudly instead.
 func (p Predicate) Holds(x []float64) bool {
 	if p.Metric >= len(x) {
 		return false
@@ -92,31 +96,89 @@ func (r *Rule) String() string {
 		strings.Join(parts, " AND "), rhs, r.Support, r.Purity)
 }
 
-// key returns a canonical identity for deduplication: the sorted predicate
-// set plus the class.
-func (r *Rule) key() string {
-	parts := make([]string, len(r.Predicates))
-	for i, p := range r.Predicates {
-		parts[i] = fmt.Sprintf("%d|%d|%.9f", p.Metric, p.Op, p.Threshold)
+// predKey is one predicate in canonical comparable form. The threshold is
+// quantized to 9 decimal places, matching the rounding of the previous
+// fmt.Sprintf("%.9f")-based string key, so dedup equivalence classes are
+// unchanged.
+type predKey struct {
+	metric int32
+	op     int32
+	thr    int64 // round(threshold * 1e9)
+}
+
+// maxInlinePreds bounds the predicate count representable in the inline
+// comparable key. Rule generation caps depth at MaxDepth (≤ 4 in practice),
+// so the overflow string path is effectively never taken.
+const maxInlinePreds = 8
+
+// ruleKey is a canonical, comparable identity for deduplication: the sorted
+// predicate set plus the class. Unlike the previous string key, building it
+// performs no allocation for rules with up to maxInlinePreds predicates —
+// it sits inside rule generation's inner loop.
+type ruleKey struct {
+	match bool
+	n     int32
+	preds [maxInlinePreds]predKey
+	extra string // only for rules with more than maxInlinePreds predicates
+}
+
+// key returns the canonical identity of the rule.
+func (r *Rule) key() ruleKey {
+	k := ruleKey{match: r.Match, n: int32(len(r.Predicates))}
+	if len(r.Predicates) > maxInlinePreds {
+		parts := make([]string, len(r.Predicates))
+		for i, p := range r.Predicates {
+			parts[i] = fmt.Sprintf("%d|%d|%.9f", p.Metric, p.Op, p.Threshold)
+		}
+		sort.Strings(parts)
+		k.extra = strings.Join(parts, ";")
+		return k
 	}
-	sort.Strings(parts)
-	return fmt.Sprintf("%v;%s", r.Match, strings.Join(parts, ";"))
+	for i, p := range r.Predicates {
+		pk := predKey{metric: int32(p.Metric), op: int32(p.Op), thr: quantize(p.Threshold)}
+		// Insertion sort keeps the inline array canonical without allocating.
+		j := i
+		for j > 0 && pk.less(k.preds[j-1]) {
+			k.preds[j] = k.preds[j-1]
+			j--
+		}
+		k.preds[j] = pk
+	}
+	return k
+}
+
+func (a predKey) less(b predKey) bool {
+	if a.metric != b.metric {
+		return a.metric < b.metric
+	}
+	if a.op != b.op {
+		return a.op < b.op
+	}
+	return a.thr < b.thr
+}
+
+func quantize(t float64) int64 {
+	return int64(math.Round(t * 1e9))
 }
 
 // Dedup removes duplicate rules (same predicate set and class), keeping the
 // occurrence with the larger support. Order is deterministic: by descending
 // support, then by rendered text.
 func Dedup(rs []Rule) []Rule {
-	best := make(map[string]Rule)
-	for _, r := range rs {
-		k := r.key()
-		if cur, ok := best[k]; !ok || r.Support > cur.Support {
-			best[k] = r
+	best := make(map[ruleKey]int, len(rs)) // key -> index into rs
+	order := make([]ruleKey, 0, len(rs))   // first-seen order for determinism
+	for i := range rs {
+		k := rs[i].key()
+		if cur, ok := best[k]; !ok {
+			best[k] = i
+			order = append(order, k)
+		} else if rs[i].Support > rs[cur].Support {
+			best[k] = i
 		}
 	}
 	out := make([]Rule, 0, len(best))
-	for _, r := range best {
-		out = append(out, r)
+	for _, k := range order {
+		out = append(out, rs[best[k]])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Support != out[j].Support {
@@ -143,16 +205,26 @@ func Matrix(w *dataset.Workload, cat *metrics.Catalog, idx []int) [][]float64 {
 
 // Apply evaluates every rule on every metric-vector row and returns the
 // firing sets: fired[i] lists the indices of the rules that fire on row i.
+// It compiles the rules against the matrix width and evaluates
+// column-at-a-time in parallel; out-of-range predicates keep the legacy
+// never-fire semantics (new code should use Compile, which rejects them).
 func Apply(rs []Rule, X [][]float64) [][]int {
-	fired := make([][]int, len(X))
-	for i, x := range X {
-		for j := range rs {
-			if rs[j].Fires(x) {
-				fired[i] = append(fired[i], j)
-			}
+	return compileLenient(rs, matrixWidth(X)).Apply(X)
+}
+
+// matrixWidth returns the smallest row width (all real matrices are
+// rectangular; the minimum keeps ragged input safe).
+func matrixWidth(X [][]float64) int {
+	if len(X) == 0 {
+		return 0
+	}
+	w := len(X[0])
+	for _, x := range X[1:] {
+		if len(x) < w {
+			w = len(x)
 		}
 	}
-	return fired
+	return w
 }
 
 // Stat summarizes a rule's behaviour on a labeled sample: how many rows it
@@ -165,39 +237,14 @@ type Stat struct {
 	MatchRate float64 // (Matches+1)/(Support+2)
 }
 
-// Stats computes per-rule statistics over (X, y).
+// Stats computes per-rule statistics over (X, y) using the compiled
+// bitmask evaluation.
 func Stats(rs []Rule, X [][]float64, y []bool) []Stat {
-	out := make([]Stat, len(rs))
-	for i, x := range X {
-		for j := range rs {
-			if rs[j].Fires(x) {
-				out[j].Support++
-				if y[i] {
-					out[j].Matches++
-				}
-			}
-		}
-	}
-	for j := range out {
-		out[j].MatchRate = (float64(out[j].Matches) + 1) / (float64(out[j].Support) + 2)
-	}
-	return out
+	return compileLenient(rs, matrixWidth(X)).Stats(X, y)
 }
 
 // Coverage returns the fraction of rows on which at least one rule fires —
 // the "high-coverage" desideratum of Section 4.1.
 func Coverage(rs []Rule, X [][]float64) float64 {
-	if len(X) == 0 {
-		return 0
-	}
-	covered := 0
-	for _, x := range X {
-		for j := range rs {
-			if rs[j].Fires(x) {
-				covered++
-				break
-			}
-		}
-	}
-	return float64(covered) / float64(len(X))
+	return compileLenient(rs, matrixWidth(X)).Coverage(X)
 }

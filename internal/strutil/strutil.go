@@ -75,11 +75,17 @@ func Abbreviation(s string) string {
 	return b.String()
 }
 
+// entitySeparators rewrites the separator variants of entity lists to
+// commas. Hoisted to package level: strings.NewReplacer builds its matching
+// machinery lazily on first use and is safe for concurrent use, so building
+// it per call wasted measurable time in the metric hot path.
+var entitySeparators = strings.NewReplacer(";", ",", " and ", ",", " & ", ",")
+
 // SplitEntities splits an entity-set attribute value (for example an author
 // list) on commas, semicolons and the literal " and ", normalizing each
 // element. Empty elements are dropped. The result is never nil.
 func SplitEntities(s string) []string {
-	replaced := strings.NewReplacer(";", ",", " and ", ",", " & ", ",").Replace(strings.ToLower(s))
+	replaced := entitySeparators.Replace(strings.ToLower(s))
 	parts := strings.Split(replaced, ",")
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
@@ -126,7 +132,12 @@ func CommonPrefixLen(a, b string) int {
 // substring of the normalized form of the longer value. Empty values are a
 // substring of anything.
 func IsSubstring(a, b string) bool {
-	na, nb := Normalize(a), Normalize(b)
+	return SubstringOfEither(Normalize(a), Normalize(b))
+}
+
+// SubstringOfEither is IsSubstring over already-normalized values — the
+// core shared with the metric layer, which caches normalization.
+func SubstringOfEither(na, nb string) bool {
 	if len(na) > len(nb) {
 		na, nb = nb, na
 	}
@@ -136,7 +147,11 @@ func IsSubstring(a, b string) bool {
 // IsPrefix reports whether the normalized shorter value is a prefix of the
 // normalized longer value.
 func IsPrefix(a, b string) bool {
-	na, nb := Normalize(a), Normalize(b)
+	return PrefixOfEither(Normalize(a), Normalize(b))
+}
+
+// PrefixOfEither is IsPrefix over already-normalized values.
+func PrefixOfEither(na, nb string) bool {
 	if len(na) > len(nb) {
 		na, nb = nb, na
 	}
@@ -146,7 +161,11 @@ func IsPrefix(a, b string) bool {
 // IsSuffix reports whether the normalized shorter value is a suffix of the
 // normalized longer value.
 func IsSuffix(a, b string) bool {
-	na, nb := Normalize(a), Normalize(b)
+	return SuffixOfEither(Normalize(a), Normalize(b))
+}
+
+// SuffixOfEither is IsSuffix over already-normalized values.
+func SuffixOfEither(na, nb string) bool {
 	if len(na) > len(nb) {
 		na, nb = nb, na
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dtree"
 	"repro/internal/eval"
+	"repro/internal/featstore"
 	"repro/internal/metrics"
 	"repro/internal/rules"
 )
@@ -214,6 +215,12 @@ type Report struct {
 // train the classifier on the training part, generate risk features from
 // the training part, train the risk model on the validation part, and rank
 // the test part by risk.
+//
+// All basic-metric computation flows through a workload-level feature store
+// (internal/featstore): each pair's metric row is computed exactly once and
+// every stage — classifier training, labeling, rule generation, rule firing
+// — reads views of it. Rule evaluation uses the compiled RuleSet, which
+// validates the rule/schema width invariant loudly at compile time.
 func Run(w *Workload, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	split, err := w.inner.SplitPairs(opts.SplitRatio, opts.Seed)
@@ -221,7 +228,9 @@ func Run(w *Workload, opts Options) (*Report, error) {
 		return nil, err
 	}
 
-	matcher, err := classifier.Train(w.inner, w.cat, split.Train, classifier.Config{
+	store := featstore.New(w.inner, w.cat)
+	trainX := store.Rows(split.Train)
+	matcher, err := classifier.TrainRows(w.inner, w.cat, split.Train, trainX, classifier.Config{
 		Epochs: opts.ClassifierEpochs, Seed: opts.Seed,
 	})
 	if err != nil {
@@ -229,7 +238,6 @@ func Run(w *Workload, opts Options) (*Report, error) {
 	}
 
 	// Risk features from the classifier training data (Section 5).
-	trainX := rules.Matrix(w.inner, w.cat, split.Train)
 	trainY := make([]bool, len(split.Train))
 	for k, i := range split.Train {
 		trainY[k] = w.inner.Pairs[i].Match
@@ -237,7 +245,11 @@ func Run(w *Workload, opts Options) (*Report, error) {
 	feats := dtree.GenerateRiskFeatures(trainX, trainY, w.cat.Names(), dtree.OneSidedConfig{
 		MaxDepth: opts.RuleDepth,
 	})
-	stats := rules.Stats(feats, trainX, trainY)
+	rset, err := rules.Compile(feats, store.Width())
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: rule compilation: %w", err)
+	}
+	stats := rset.Stats(trainX, trainY)
 	model, err := core.New(core.BuildFeatures(feats, stats), core.Config{
 		Theta: opts.VaRConfidence, Epochs: opts.RiskEpochs, Seed: opts.Seed,
 	})
@@ -246,17 +258,17 @@ func Run(w *Workload, opts Options) (*Report, error) {
 	}
 
 	// Risk-model training on the validation part (Section 4.3).
-	validX := rules.Matrix(w.inner, w.cat, split.Valid)
-	validLab := matcher.Label(w.inner, split.Valid)
-	validInsts, validBad := core.BuildInstances(rules.Apply(feats, validX), validLab)
+	validX := store.Rows(split.Valid)
+	validLab := matcher.LabelRows(w.inner, split.Valid, validX)
+	validInsts, validBad := core.BuildInstances(rset.Apply(validX), validLab)
 	if err := model.Fit(validInsts, validBad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
 		return nil, fmt.Errorf("learnrisk: risk training: %w", err)
 	}
 
 	// Rank the test part.
-	testX := rules.Matrix(w.inner, w.cat, split.Test)
-	testLab := matcher.Label(w.inner, split.Test)
-	testInsts, testBad := core.BuildInstances(rules.Apply(feats, testX), testLab)
+	testX := store.Rows(split.Test)
+	testLab := matcher.LabelRows(w.inner, split.Test, testX)
+	testInsts, testBad := core.BuildInstances(rset.Apply(testX), testLab)
 	risks := model.RiskAll(testInsts)
 
 	rep := &Report{
@@ -265,7 +277,7 @@ func Run(w *Workload, opts Options) (*Report, error) {
 		ClassifierAccuracy: testLab.Accuracy(),
 		Mislabels:          testLab.MislabelCount(),
 		NumFeatures:        len(feats),
-		RuleCoverage:       rules.Coverage(feats, testX),
+		RuleCoverage:       rset.Coverage(testX),
 		model:              model,
 		features:           feats,
 		insts:              make(map[int]core.Instance, len(testInsts)),
