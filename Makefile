@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: build vet test race tier1 bench bench-baseline
+.PHONY: build build-examples vet test race tier1 bench bench-baseline
 
 build:
 	$(GO) build ./...
+
+# build-examples compiles every directory under examples/ explicitly, so
+# API drift in the examples fails the tier-1 gate even if a future build
+# target narrows its package list.
+build-examples:
+	$(GO) build ./examples/...
 
 vet:
 	$(GO) vet ./...
@@ -12,12 +18,14 @@ test:
 	$(GO) test ./...
 
 # race covers the packages whose hot paths run under internal/par worker
-# pools (disjoint-write contracts).
+# pools (disjoint-write contracts), plus the facade's concurrent serving
+# path (Model.Score/ScoreBatch from many goroutines).
 race:
 	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/...
+	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent' .
 
 # tier1 is the verification gate every PR must keep green (ROADMAP.md).
-tier1: build vet test race
+tier1: build build-examples vet test race
 
 # bench refreshes the "current" section of BENCH_PR1.json with this
 # machine's numbers; bench-baseline records the pre-change numbers before

@@ -1,6 +1,7 @@
 package learnrisk
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/active"
@@ -37,6 +38,14 @@ type ActivePoint struct {
 // ActiveLearn runs the active-learning loop on the workload and returns the
 // learning curve.
 func ActiveLearn(w *Workload, opts ActiveOptions) ([]ActivePoint, error) {
+	return ActiveLearnCtx(context.Background(), w, opts)
+}
+
+// ActiveLearnCtx is ActiveLearn with cooperative cancellation: the context
+// is checked at every acquisition round and inside each round's classifier
+// retraining, so a canceled context aborts the loop with an error
+// satisfying errors.Is(err, ctx.Err()).
+func ActiveLearnCtx(ctx context.Context, w *Workload, opts ActiveOptions) ([]ActivePoint, error) {
 	if opts.Method == "" {
 		opts.Method = string(active.LearnRisk)
 	}
@@ -56,7 +65,7 @@ func ActiveLearn(w *Workload, opts ActiveOptions) ([]ActivePoint, error) {
 		return nil, err
 	}
 	pool := append(append([]int(nil), split.Train...), split.Valid...)
-	curve, err := active.Run(w.inner, w.cat, pool, split.Test, active.Method(opts.Method), active.Config{
+	curve, err := active.RunCtx(ctx, w.inner, w.cat, pool, split.Test, active.Method(opts.Method), active.Config{
 		InitialSize: opts.InitialSize,
 		BatchSize:   opts.BatchSize,
 		Rounds:      opts.Rounds,

@@ -6,6 +6,7 @@
 package active
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -70,6 +71,14 @@ type Point struct {
 // Run executes the loop with the given selection method over the workload:
 // pool is the unlabeled candidate set, test the held-out evaluation set.
 func Run(w *dataset.Workload, cat *metrics.Catalog, pool, test []int, method Method, cfg Config) ([]Point, error) {
+	return RunCtx(context.Background(), w, cat, pool, test, method, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked at
+// every acquisition round and plumbed through the per-round classifier
+// retraining, so a canceled context aborts the loop with ctx.Err(). With a
+// background context the curve is identical to Run's.
+func RunCtx(ctx context.Context, w *dataset.Workload, cat *metrics.Catalog, pool, test []int, method Method, cfg Config) ([]Point, error) {
 	cfg = cfg.withDefaults()
 	if len(pool) < cfg.InitialSize+cfg.BatchSize {
 		return nil, fmt.Errorf("active: pool of %d too small for initial %d + batch %d",
@@ -99,7 +108,10 @@ func Run(w *dataset.Workload, cat *metrics.Catalog, pool, test []int, method Met
 
 	var curve []Point
 	for round := 0; ; round++ {
-		m, err := classifier.TrainRows(w, cat, labeled, st.Rows(labeled), withSeed(cfg.Classifier, cfg.Seed+uint64(round)))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := classifier.TrainRowsCtx(ctx, w, cat, labeled, st.Rows(labeled), withSeed(cfg.Classifier, cfg.Seed+uint64(round)), nil)
 		if err != nil {
 			return nil, fmt.Errorf("active: round %d: %w", round, err)
 		}
@@ -108,7 +120,7 @@ func Run(w *dataset.Workload, cat *metrics.Catalog, pool, test []int, method Met
 			return curve, nil
 		}
 
-		scores, err := scorePool(st, m, labeled, unlabeled, method, cfg)
+		scores, err := scorePool(ctx, st, m, labeled, unlabeled, method, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("active: round %d: %w", round, err)
 		}
@@ -168,7 +180,7 @@ func min(a, b int) int {
 
 // scorePool returns one acquisition score per unlabeled index (higher =
 // select first).
-func scorePool(st *featstore.Store, m *classifier.Matcher,
+func scorePool(ctx context.Context, st *featstore.Store, m *classifier.Matcher,
 	labeled, unlabeled []int, method Method, cfg Config) ([]float64, error) {
 
 	poolRows := st.Rows(unlabeled)
@@ -194,7 +206,7 @@ func scorePool(st *featstore.Store, m *classifier.Matcher,
 		}
 		return out, nil
 	case LearnRisk:
-		return learnRiskScores(st, m, labeled, unlabeled, probs, cfg)
+		return learnRiskScores(ctx, st, m, labeled, unlabeled, probs, cfg)
 	}
 	return nil, fmt.Errorf("active: unknown method %q", method)
 }
@@ -203,7 +215,7 @@ func scorePool(st *featstore.Store, m *classifier.Matcher,
 // (whose mislabel flags are known) and scores the unlabeled pool by VaR
 // risk — "at each iteration, the algorithm can select the most risky
 // instances for labeling" (Section 8).
-func learnRiskScores(st *featstore.Store, m *classifier.Matcher,
+func learnRiskScores(ctx context.Context, st *featstore.Store, m *classifier.Matcher,
 	labeled, unlabeled []int, poolProbs []float64, cfg Config) ([]float64, error) {
 
 	w, cat := st.Workload(), st.Catalog()
@@ -212,7 +224,10 @@ func learnRiskScores(st *featstore.Store, m *classifier.Matcher,
 	for k, i := range labeled {
 		y[k] = w.Pairs[i].Match
 	}
-	rs := dtree.GenerateRiskFeatures(trainX, y, cat.Names(), cfg.RuleGen)
+	rs, err := dtree.GenerateRiskFeaturesCtx(ctx, trainX, y, cat.Names(), cfg.RuleGen)
+	if err != nil {
+		return nil, err
+	}
 	rset, err := rules.Compile(rs, st.Width())
 	if err != nil {
 		return nil, err
@@ -228,7 +243,7 @@ func learnRiskScores(st *featstore.Store, m *classifier.Matcher,
 	trainInsts, mislabeled := core.BuildInstances(rset.Apply(trainX), labTrain)
 	// A perfect classifier on the labeled set leaves nothing to rank on;
 	// fall back to entropy scores in that case.
-	if err := model.Fit(trainInsts, mislabeled); err != nil {
+	if err := model.FitCtx(ctx, trainInsts, mislabeled, nil); err != nil {
 		if errors.Is(err, core.ErrNoTrainingSignal) {
 			out := make([]float64, len(unlabeled))
 			for k := range unlabeled {

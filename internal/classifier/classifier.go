@@ -8,6 +8,7 @@
 package classifier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -83,12 +84,14 @@ func FeatureMatrix(w *dataset.Workload, cat *metrics.Catalog, idx []int) [][]flo
 }
 
 // Matcher is the trained ER classifier: it labels pairs as matching when
-// its output probability reaches 0.5.
+// its output probability reaches 0.5. A trained Matcher is immutable and
+// safe for concurrent use.
 type Matcher struct {
 	net      *nn.Network
 	cat      *metrics.Catalog
 	view     *metrics.Catalog // the metric subset the network consumes
 	viewCols []int            // view metric positions within the full catalog
+	useDiff  bool             // whether the view includes difference metrics
 }
 
 // similarityView returns a catalog restricted to similarity metrics
@@ -116,7 +119,7 @@ func identityCols(n int) []int {
 
 // newMatcher builds the untrained matcher shell for the catalog and config.
 func newMatcher(cat *metrics.Catalog, cfg Config) (*Matcher, error) {
-	m := &Matcher{cat: cat}
+	m := &Matcher{cat: cat, useDiff: cfg.UseDifferenceMetrics}
 	if cfg.UseDifferenceMetrics {
 		m.view, m.viewCols = cat, identityCols(len(cat.Metrics))
 	} else {
@@ -145,8 +148,9 @@ func (m *Matcher) InputFromRow(row []float64) []float64 {
 
 // fit trains the matcher's network on prepared inputs. The positive class
 // is reweighted by the negative:positive ratio (capped at 50) to counter
-// ER's inherent imbalance.
-func (m *Matcher) fit(xs [][]float64, match []bool, cfg Config) error {
+// ER's inherent imbalance. The context is checked between epochs; progress
+// (optional) is invoked per completed epoch.
+func (m *Matcher) fit(ctx context.Context, xs [][]float64, match []bool, cfg Config, progress func(done, total int)) error {
 	ys := make([]float64, len(match))
 	pos := 0
 	for k, isMatch := range match {
@@ -181,7 +185,7 @@ func (m *Matcher) fit(xs [][]float64, match []bool, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	if err := net.Fit(xs, ys, weights); err != nil {
+	if err := net.FitCtx(ctx, xs, ys, weights, progress); err != nil {
 		return err
 	}
 	m.net = net
@@ -208,7 +212,7 @@ func Train(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, cfg Config
 		return nil, err
 	}
 	xs := FeatureMatrix(w, m.view, trainIdx)
-	if err := m.fit(xs, matchFlags(w, trainIdx), cfg); err != nil {
+	if err := m.fit(context.Background(), xs, matchFlags(w, trainIdx), cfg, nil); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -220,6 +224,15 @@ func Train(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, cfg Config
 // the rows, which is bit-identical to computing the view's metrics
 // directly.
 func TrainRows(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [][]float64, cfg Config) (*Matcher, error) {
+	return TrainRowsCtx(context.Background(), w, cat, trainIdx, rows, cfg, nil)
+}
+
+// TrainRowsCtx is TrainRows with cooperative cancellation and progress
+// reporting. The context is checked between training epochs: cancellation
+// aborts with ctx.Err(). progress (optional) receives (epochsDone,
+// epochsTotal) after each epoch. With a background context and nil progress
+// it is exactly TrainRows.
+func TrainRowsCtx(ctx context.Context, w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [][]float64, cfg Config, progress func(done, total int)) (*Matcher, error) {
 	cfg = cfg.withDefaults()
 	if len(trainIdx) == 0 {
 		return nil, errors.New("classifier: empty training set")
@@ -233,9 +246,46 @@ func TrainRows(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [
 	}
 	xs := make([][]float64, len(rows))
 	par.For(len(rows), func(k int) { xs[k] = m.InputFromRow(rows[k]) })
-	if err := m.fit(xs, matchFlags(w, trainIdx), cfg); err != nil {
+	if err := m.fit(ctx, xs, matchFlags(w, trainIdx), cfg, progress); err != nil {
 		return nil, err
 	}
+	return m, nil
+}
+
+// MatcherSnapshot is the serializable state of a trained matcher: the
+// network weights plus the metric-view selection. The catalog itself is not
+// part of the snapshot — Restore re-binds the matcher to a caller-supplied
+// catalog, whose schema must match the one the matcher was trained on
+// (callers enforce that with a schema fingerprint).
+type MatcherSnapshot struct {
+	UseDifferenceMetrics bool        `json:"use_difference_metrics"`
+	Net                  nn.Snapshot `json:"net"`
+}
+
+// Snapshot captures the trained matcher's state for persistence.
+func (m *Matcher) Snapshot() MatcherSnapshot {
+	return MatcherSnapshot{UseDifferenceMetrics: m.useDiff, Net: m.net.Snapshot()}
+}
+
+// RestoreMatcher rebuilds a matcher from a snapshot over the given catalog.
+// The restored matcher labels bit-identically to the snapshotted one when
+// the catalog is equivalent to the training catalog.
+func RestoreMatcher(cat *metrics.Catalog, s MatcherSnapshot) (*Matcher, error) {
+	m, err := newMatcher(cat, Config{UseDifferenceMetrics: s.UseDifferenceMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Net.Layers) == 0 {
+		return nil, errors.New("classifier: snapshot has no trained network")
+	}
+	if got, want := s.Net.Inputs, len(m.view.Metrics); got != want {
+		return nil, fmt.Errorf("classifier: snapshot expects %d input metrics, catalog view has %d", got, want)
+	}
+	net, err := nn.Restore(s.Net)
+	if err != nil {
+		return nil, err
+	}
+	m.net = net
 	return m, nil
 }
 

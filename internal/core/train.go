@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -104,6 +105,17 @@ const fitBlock = 64
 // order — both bit-identical to the serial loop for a fixed seed,
 // independent of GOMAXPROCS.
 func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
+	return m.FitCtx(context.Background(), insts, mislabeled, nil)
+}
+
+// FitCtx is Fit with cooperative cancellation and progress reporting. The
+// context is checked at each epoch boundary: a canceled context aborts the
+// remaining epochs and returns ctx.Err(), leaving the model with the
+// parameters of the last completed epoch (still usable for scoring, just
+// undertrained). progress (optional) is invoked after each completed epoch
+// with (epochsDone, epochsTotal). A nil-error FitCtx run is bit-identical
+// to Fit: the boundary checks consume no randomness.
+func (m *Model) FitCtx(ctx context.Context, insts []Instance, mislabeled []bool, progress func(done, total int)) error {
 	if len(insts) != len(mislabeled) {
 		return errMismatch(len(insts), len(mislabeled))
 	}
@@ -135,6 +147,9 @@ func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
 	}
 
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m.fillParamCache(pc)
 
 		// Forward: surrogate VaR for every instance, in parallel
@@ -194,6 +209,9 @@ func (m *Model) Fit(insts []Instance, mislabeled []bool) error {
 		}
 		m.addRegGradsCached(grads, pc)
 		m.applyStep(opt, grads)
+		if progress != nil {
+			progress(epoch+1, m.cfg.Epochs)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package dtree
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/rules"
@@ -61,20 +62,35 @@ func (c OneSidedConfig) withDefaults() OneSidedConfig {
 // deduplicated one-sided rules. Every root-to-leaf path whose leaf is
 // sufficiently pure and large becomes a risk feature.
 func GenerateRiskFeatures(X [][]float64, y []bool, names []string, cfg OneSidedConfig) []rules.Rule {
+	out, _ := GenerateRiskFeaturesCtx(context.Background(), X, y, names, cfg)
+	return out
+}
+
+// GenerateRiskFeaturesCtx is GenerateRiskFeatures with cooperative
+// cancellation: the context is checked at every tree node before its
+// candidate partitions are scored (the expensive step), and a canceled
+// context aborts the remaining construction and returns ctx.Err(). With a
+// background context the generated rules are identical to
+// GenerateRiskFeatures.
+func GenerateRiskFeaturesCtx(ctx context.Context, X [][]float64, y []bool, names []string, cfg OneSidedConfig) ([]rules.Rule, error) {
 	cfg = cfg.withDefaults()
 	if len(X) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	idx := make([]int, len(X))
 	for i := range idx {
 		idx[i] = i
 	}
-	g := &onesidedGen{X: X, y: y, names: names, cfg: cfg}
+	g := &onesidedGen{ctx: ctx, X: X, y: y, names: names, cfg: cfg}
 	g.construct(idx, 0, nil)
-	return rules.Dedup(g.out)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rules.Dedup(g.out), nil
 }
 
 type onesidedGen struct {
+	ctx   context.Context
 	X     [][]float64
 	y     []bool
 	names []string
@@ -97,6 +113,9 @@ type branch struct {
 // impurer sides.
 func (g *onesidedGen) construct(idx []int, depth int, path []rules.Predicate) {
 	if depth >= g.cfg.MaxDepth || len(idx) < 2*g.cfg.MinLeaf {
+		return
+	}
+	if g.ctx.Err() != nil {
 		return
 	}
 	var cands []branch

@@ -1,0 +1,88 @@
+package featstore
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/par"
+)
+
+// RawPair is one candidate pair given by raw attribute values, the input of
+// the serving path: pairs that arrive after training, outside any stored
+// workload.
+type RawPair struct {
+	Left  []string
+	Right []string
+}
+
+// ComputeRow computes the full-catalog metric row of one raw pair. Each
+// side's values are prepared once for the whole row (the metrics.Prepared
+// fast path). Safe for concurrent use: all scratch is per-call and the
+// catalog is read-only.
+func ComputeRow(cat *metrics.Catalog, left, right []string) []float64 {
+	return cat.Compute(left, right)
+}
+
+// ComputeRows computes the metric rows of a batch of raw pairs in parallel.
+// Like the workload store, it memoizes value preparation across the batch:
+// a record that appears in many pairs (one query against K candidates, the
+// common serving shape) is normalized/tokenized once, not K times. Rows are
+// identical to per-pair ComputeRow calls.
+func ComputeRows(cat *metrics.Catalog, pairs []RawPair) [][]float64 {
+	if len(pairs) == 0 {
+		return nil
+	}
+	needs := cat.AttrNeeds()
+
+	// Collect the distinct sides (by value identity) so each record is
+	// prepared exactly once however many pairs reference it. The dedup key
+	// length-prefixes every value, so the encoding is injective whatever
+	// bytes (including separators) the values contain; each pair remembers
+	// its sides' indices so the scoring loop never touches keys again.
+	keyOf := func(vals []string) string {
+		var b strings.Builder
+		for _, v := range vals {
+			b.WriteString(strconv.Itoa(len(v)))
+			b.WriteByte(':')
+			b.WriteString(v)
+		}
+		return b.String()
+	}
+	sideIdx := make(map[string]int)
+	var uniq [][]string
+	add := func(vals []string) int {
+		k := keyOf(vals)
+		if i, ok := sideIdx[k]; ok {
+			return i
+		}
+		i := len(uniq)
+		sideIdx[k] = i
+		uniq = append(uniq, vals)
+		return i
+	}
+	leftIdx := make([]int, len(pairs))
+	rightIdx := make([]int, len(pairs))
+	for i, p := range pairs {
+		leftIdx[i] = add(p.Left)
+		rightIdx[i] = add(p.Right)
+	}
+	prepared := make([][]*metrics.Prepared, len(uniq))
+	par.For(len(uniq), func(k int) {
+		row := cat.PrepareRow(uniq[k])
+		for a, p := range row {
+			p.MaterializeNeeds(needs[a])
+		}
+		prepared[k] = row
+	})
+
+	width := len(cat.Metrics)
+	backing := make([]float64, len(pairs)*width)
+	out := make([][]float64, len(pairs))
+	par.For(len(pairs), func(i int) {
+		dst := backing[i*width : (i+1)*width : (i+1)*width]
+		cat.ComputePreparedInto(dst, prepared[leftIdx[i]], prepared[rightIdx[i]])
+		out[i] = dst
+	})
+	return out
+}

@@ -1,0 +1,76 @@
+package featstore
+
+import "testing"
+
+// TestComputeRowsMatchesComputeRow is the serving path's equivalence
+// contract: batch rows are bit-identical to per-pair computation.
+func TestComputeRowsMatchesComputeRow(t *testing.T) {
+	w, cat := testWorkload(t)
+	var pairs []RawPair
+	for i := 0; i < 30 && i < len(w.Pairs); i++ {
+		l, r := w.Values(i)
+		pairs = append(pairs, RawPair{Left: l, Right: r})
+	}
+	// Repeat a pair so the prepared-value memoization path is exercised.
+	pairs = append(pairs, pairs[0], pairs[3])
+
+	rows := ComputeRows(cat, pairs)
+	if len(rows) != len(pairs) {
+		t.Fatalf("%d rows for %d pairs", len(rows), len(pairs))
+	}
+	for k, p := range pairs {
+		want := ComputeRow(cat, p.Left, p.Right)
+		for j := range want {
+			if rows[k][j] != want[j] {
+				t.Fatalf("pair %d col %d (%s): batch=%v direct=%v",
+					k, j, cat.Metrics[j].Name, rows[k][j], want[j])
+			}
+		}
+	}
+}
+
+// TestComputeRowsDedupKeyInjective guards the memoization key against
+// collisions: records whose values concatenate identically but split
+// differently across attributes must not share prepared forms.
+func TestComputeRowsDedupKeyInjective(t *testing.T) {
+	_, cat := testWorkload(t) // DS schema: title, authors, venue, year
+	a := []string{"a\x00", "b", "c", "1999"}
+	b := []string{"a", "\x00b", "c", "1999"}
+	right := []string{"a", "b", "c", "1999"}
+	pairs := []RawPair{{Left: a, Right: right}, {Left: b, Right: right}}
+	rows := ComputeRows(cat, pairs)
+	for k, p := range pairs {
+		want := ComputeRow(cat, p.Left, p.Right)
+		for j := range want {
+			if rows[k][j] != want[j] {
+				t.Fatalf("pair %d col %d (%s): batch=%v direct=%v — dedup key collision",
+					k, j, cat.Metrics[j].Name, rows[k][j], want[j])
+			}
+		}
+	}
+}
+
+// TestStoreLazyChunkAllocation verifies that touching a few rows of a large
+// workload allocates only their chunks.
+func TestStoreLazyChunkAllocation(t *testing.T) {
+	w, cat := testWorkload(t)
+	s := New(w, cat)
+	for _, c := range s.chunks {
+		if c != nil {
+			t.Fatal("fresh store should have no allocated chunks")
+		}
+	}
+	s.Rows([]int{0, 1})
+	if s.chunks[0] == nil {
+		t.Fatal("first chunk should be allocated after reading rows 0-1")
+	}
+	allocated := 0
+	for _, c := range s.chunks {
+		if c != nil {
+			allocated++
+		}
+	}
+	if allocated != 1 {
+		t.Fatalf("allocated %d chunks for two adjacent rows, want 1", allocated)
+	}
+}

@@ -1,6 +1,6 @@
 // Package featstore provides the workload-level columnar metric store: the
 // basic-metric vectors of all candidate pairs of one workload, computed
-// lazily (each pair exactly once) into a flat row-major backing array, with
+// lazily (each pair exactly once) into chunked row-major backing, with
 // every downstream consumer — classifier feature extraction, rule
 // generation and evaluation, risk training, the experiment figures — taking
 // index views into it instead of recomputing metrics.
@@ -36,25 +36,31 @@ type Store struct {
 	cat   *metrics.Catalog
 	width int
 
-	data  []float64 // row-major, len(w.Pairs) × width
-	ready []bool    // per pair
+	chunks [][]float64 // row-major backing, chunkRows rows per chunk, allocated lazily
+	ready  []bool      // per pair
 
 	needs []metrics.Need        // per attribute, derived once from the catalog
 	prepL [][]*metrics.Prepared // per left-table record, per attribute; nil = not yet prepared
 	prepR [][]*metrics.Prepared // per right-table record, per attribute; nil = not yet prepared
 }
 
+// chunkRows is the row granularity of lazy backing allocation: a store over
+// a huge workload costs memory proportional to the rows actually touched
+// (rounded up to chunks), not to the workload size, while rows inside a
+// chunk stay contiguous for locality.
+const chunkRows = 1024
+
 // New builds an empty store over the workload's candidate pairs. Nothing is
-// computed until rows are requested.
+// computed — and no row backing is allocated — until rows are requested.
 func New(w *dataset.Workload, cat *metrics.Catalog) *Store {
 	width := len(cat.Metrics)
 	n := len(w.Pairs)
 	s := &Store{
-		w:     w,
-		cat:   cat,
-		width: width,
-		data:  make([]float64, n*width),
-		ready: make([]bool, n),
+		w:      w,
+		cat:    cat,
+		width:  width,
+		chunks: make([][]float64, (n+chunkRows-1)/chunkRows),
+		ready:  make([]bool, n),
 	}
 	return s
 }
@@ -119,6 +125,7 @@ func (s *Store) prepareFor(missing []int) {
 func (s *Store) Row(i int) []float64 {
 	if !s.ready[i] {
 		s.prepareFor([]int{i})
+		s.ensureChunk(i)
 		s.fill(i)
 		s.ready[i] = true
 	}
@@ -142,6 +149,11 @@ func (s *Store) Rows(idx []int) [][]float64 {
 	}
 	if len(missing) > 0 {
 		s.prepareFor(missing)
+		// Chunks are allocated serially before the parallel fill, whose
+		// writes into them are then disjoint per pair.
+		for _, i := range missing {
+			s.ensureChunk(i)
+		}
 		par.For(len(missing), func(k int) {
 			s.fill(missing[k])
 		})
@@ -165,15 +177,24 @@ func (s *Store) All() [][]float64 {
 	return s.Rows(idx)
 }
 
-// fill computes pair i's metric row into the backing array.
+// ensureChunk allocates the backing chunk holding pair i's row if needed.
+func (s *Store) ensureChunk(i int) {
+	c := i / chunkRows
+	if s.chunks[c] == nil {
+		s.chunks[c] = make([]float64, chunkRows*s.width)
+	}
+}
+
+// fill computes pair i's metric row into the (already allocated) backing
+// chunk.
 func (s *Store) fill(i int) {
 	p := s.w.Pairs[i]
-	s.cat.ComputePreparedInto(s.data[i*s.width:(i+1)*s.width], s.prepL[p.Left], s.prepR[p.Right])
+	s.cat.ComputePreparedInto(s.view(i), s.prepL[p.Left], s.prepR[p.Right])
 }
 
 // view returns the slice header for pair i's row (capacity-clipped so
 // appends by a misbehaving caller cannot bleed into the next row).
 func (s *Store) view(i int) []float64 {
-	return s.data[i*s.width : (i+1)*s.width : (i+1)*s.width]
+	off := (i % chunkRows) * s.width
+	return s.chunks[i/chunkRows][off : off+s.width : off+s.width]
 }
-

@@ -35,21 +35,28 @@ func NewCorpus(values []string, keyQuantile float64) *Corpus {
 		}
 	}
 	c.maxIDF = math.Log(float64(c.docs + 1)) // df=0 ceiling
+	c.deriveKeyIDF()
+	return c
+}
+
+// deriveKeyIDF computes the key-token IDF threshold from the document
+// frequencies at the corpus's quantile. It is deterministic in (docs, df,
+// keyQuant), which is what makes a snapshot round trip bit-exact.
+func (c *Corpus) deriveKeyIDF() {
 	if len(c.df) == 0 {
 		c.keyIDF = c.maxIDF
-		return c
+		return
 	}
 	idfs := make([]float64, 0, len(c.df))
 	for t := range c.df {
 		idfs = append(idfs, c.IDF(t))
 	}
 	sort.Float64s(idfs)
-	idx := int(keyQuantile * float64(len(idfs)))
+	idx := int(c.keyQuant * float64(len(idfs)))
 	if idx >= len(idfs) {
 		idx = len(idfs) - 1
 	}
 	c.keyIDF = idfs[idx]
-	return c
 }
 
 // Docs returns the number of documents (attribute values) in the corpus.

@@ -1,0 +1,47 @@
+package metrics
+
+import "math"
+
+// CorpusSnapshot is the serializable state of a Corpus: the raw document
+// frequencies plus the key-token quantile. The derived thresholds (keyIDF,
+// maxIDF) are not stored — RestoreCorpus recomputes them with the exact
+// NewCorpus derivation, so a restored corpus produces bit-identical IDF
+// weights and key-token decisions.
+type CorpusSnapshot struct {
+	Docs        int            `json:"docs"`
+	DF          map[string]int `json:"df,omitempty"`
+	KeyQuantile float64        `json:"key_quantile"`
+}
+
+// Snapshot captures the corpus state for persistence. A nil corpus yields a
+// zero snapshot (Docs == 0 and nil DF), which RestoreCorpus maps back to an
+// empty corpus with the same behavior.
+func (c *Corpus) Snapshot() CorpusSnapshot {
+	if c == nil {
+		return CorpusSnapshot{}
+	}
+	s := CorpusSnapshot{Docs: c.docs, KeyQuantile: c.keyQuant}
+	if len(c.df) > 0 {
+		s.DF = make(map[string]int, len(c.df))
+		for t, n := range c.df {
+			s.DF[t] = n
+		}
+	}
+	return s
+}
+
+// RestoreCorpus rebuilds a corpus from a snapshot. IDF, IsKeyToken and every
+// corpus-aware metric behave bit-identically to the snapshotted corpus.
+func RestoreCorpus(s CorpusSnapshot) *Corpus {
+	quant := s.KeyQuantile
+	if quant <= 0 || quant >= 1 {
+		quant = 0.5
+	}
+	c := &Corpus{docs: s.Docs, df: make(map[string]int, len(s.DF)), keyQuant: quant}
+	for t, n := range s.DF {
+		c.df[t] = n
+	}
+	c.maxIDF = math.Log(float64(c.docs + 1))
+	c.deriveKeyIDF()
+	return c
+}

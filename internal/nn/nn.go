@@ -7,6 +7,7 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -207,6 +208,16 @@ func (n *Network) Hidden(x []float64) []float64 {
 // cross-entropy. Class weights may be supplied to counter ER's imbalance;
 // nil means uniform.
 func (n *Network) Fit(xs [][]float64, ys []float64, weights []float64) error {
+	return n.FitCtx(context.Background(), xs, ys, weights, nil)
+}
+
+// FitCtx is Fit with cooperative cancellation and progress reporting. The
+// context is checked between epochs: a canceled context aborts training and
+// returns ctx.Err(), leaving the network in its last completed-epoch state.
+// progress (optional) is invoked after each completed epoch with
+// (epochsDone, epochsTotal). For a nil-error run the trained network is
+// bit-identical to Fit's: the epoch boundary checks consume no randomness.
+func (n *Network) FitCtx(ctx context.Context, xs [][]float64, ys []float64, weights []float64, progress func(done, total int)) error {
 	if len(xs) != len(ys) {
 		return fmt.Errorf("nn: %d inputs vs %d labels", len(xs), len(ys))
 	}
@@ -223,6 +234,9 @@ func (n *Network) Fit(xs [][]float64, ys []float64, weights []float64) error {
 		idx[i] = i
 	}
 	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += n.cfg.Batch {
 			end := start + n.cfg.Batch
@@ -230,6 +244,9 @@ func (n *Network) Fit(xs [][]float64, ys []float64, weights []float64) error {
 				end = len(idx)
 			}
 			n.trainBatch(xs, ys, weights, idx[start:end])
+		}
+		if progress != nil {
+			progress(epoch+1, n.cfg.Epochs)
 		}
 	}
 	return nil

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// LayerSnapshot is the serializable state of one dense layer.
+type LayerSnapshot struct {
+	In  int       `json:"in"`
+	Out int       `json:"out"`
+	Act int       `json:"act"`
+	W   []float64 `json:"w"`
+	B   []float64 `json:"b"`
+}
+
+// Snapshot is the serializable state of a trained network: the architecture
+// and weights needed for inference. The optimizer moments and RNG stream are
+// deliberately excluded — a restored network predicts bit-identically to the
+// original, but further training starts from a fresh optimizer state.
+type Snapshot struct {
+	Inputs int             `json:"inputs"`
+	Layers []LayerSnapshot `json:"layers"`
+}
+
+// Snapshot captures the network's inference state.
+func (n *Network) Snapshot() Snapshot {
+	s := Snapshot{Inputs: n.cfg.Inputs, Layers: make([]LayerSnapshot, len(n.layers))}
+	for i, l := range n.layers {
+		s.Layers[i] = LayerSnapshot{
+			In: l.In, Out: l.Out, Act: int(l.Act),
+			W: append([]float64(nil), l.W...),
+			B: append([]float64(nil), l.B...),
+		}
+	}
+	return s
+}
+
+// Restore reconstructs a network from a snapshot. Predictions of the
+// restored network are bit-identical to the snapshotted one.
+func Restore(s Snapshot) (*Network, error) {
+	if s.Inputs <= 0 {
+		return nil, errors.New("nn: snapshot has non-positive input width")
+	}
+	if len(s.Layers) == 0 {
+		return nil, errors.New("nn: snapshot has no layers")
+	}
+	n := &Network{cfg: Config{Inputs: s.Inputs}.withDefaults(), rng: stats.NewRNG(1)}
+	prev := s.Inputs
+	for i, ls := range s.Layers {
+		if ls.In != prev {
+			return nil, fmt.Errorf("nn: layer %d input width %d does not chain from %d", i, ls.In, prev)
+		}
+		if ls.Out <= 0 || len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return nil, fmt.Errorf("nn: layer %d has inconsistent shapes (in=%d out=%d |W|=%d |B|=%d)",
+				i, ls.In, ls.Out, len(ls.W), len(ls.B))
+		}
+		if ls.Act < int(ReLU) || ls.Act > int(Linear) {
+			return nil, fmt.Errorf("nn: layer %d has unknown activation %d", i, ls.Act)
+		}
+		n.layers = append(n.layers, &Layer{
+			In: ls.In, Out: ls.Out, Act: Activation(ls.Act),
+			W: append([]float64(nil), ls.W...),
+			B: append([]float64(nil), ls.B...),
+		})
+		prev = ls.Out
+	}
+	return n, nil
+}

@@ -36,12 +36,12 @@ type RuleSet struct {
 type colGroup struct {
 	col int
 
-	leThr []float64 // ascending; predicate t holds when v <= leThr[t]
-	leOff []int32   // posting offsets, len = len(leThr)+1
-	lePost []int32  // rule ids
+	leThr  []float64 // ascending; predicate t holds when v <= leThr[t]
+	leOff  []int32   // posting offsets, len = len(leThr)+1
+	lePost []int32   // rule ids
 
-	gtThr []float64 // ascending; predicate t holds when v > gtThr[t]
-	gtOff []int32
+	gtThr  []float64 // ascending; predicate t holds when v > gtThr[t]
+	gtOff  []int32
 	gtPost []int32
 }
 
@@ -169,6 +169,29 @@ func (c *RuleSet) fireInto(x []float64, counts []int32, dst []int32) []int32 {
 
 func (c *RuleSet) gtHolding(g *colGroup, hi int) []int32 {
 	return g.gtPost[:g.gtOff[hi]]
+}
+
+// ApplyRow evaluates the set on a single metric row and returns the indices
+// of the firing rules in ascending order (nil when none fire, matching
+// Apply's per-row contract). Scratch is allocated per call, so ApplyRow is
+// safe for concurrent use from any number of goroutines — it is the serving
+// path's per-pair evaluation. The result is identical to Apply's row entry.
+// A row narrower than the compiled width violates the width invariant and
+// panics loudly rather than firing on garbage.
+func (c *RuleSet) ApplyRow(x []float64) []int {
+	if len(x) < c.width {
+		panic(fmt.Sprintf("rules: row width %d below compiled width %d (schema/rule mismatch)", len(x), c.width))
+	}
+	counts := make([]int32, len(c.rules))
+	scratch := c.fireInto(x, counts, nil)
+	if len(scratch) == 0 {
+		return nil
+	}
+	row := make([]int, len(scratch))
+	for k, r := range scratch {
+		row[k] = int(r)
+	}
+	return row
 }
 
 // evalChunkSize is the row-chunk granularity of parallel evaluation; a

@@ -1,33 +1,43 @@
 // Package learnrisk is the public API of this repository's reproduction of
 // "Towards Interpretable and Learnable Risk Analysis for Entity Resolution"
-// (Chen et al., SIGMOD 2020). It wires the full LearnRisk pipeline —
-// classifier training, interpretable risk-feature generation, risk-model
-// construction and learning-to-rank training — behind a small facade:
+// (Chen et al., SIGMOD 2020). The pipeline is split into a train-once,
+// serve-anywhere shape around a first-class trained artifact, the Model:
 //
 //	w, _ := learnrisk.Generate("DS", 0.05, 42)
-//	report, _ := learnrisk.Run(w, learnrisk.Options{})
+//	model, _ := learnrisk.Train(ctx, w, learnrisk.Options{})
+//
+//	// Evaluate reproduces the paper's protocol on the held-out test split.
+//	report, _ := model.Evaluate(w, model.TestPairs())
 //	for _, rp := range report.Ranking[:10] {
 //	    fmt.Println(rp.Risk, report.Explain(rp)[0])
 //	}
+//
+//	// The serving path risk-scores fresh candidate pairs concurrently,
+//	// without retraining.
+//	scores := model.ScoreBatch(pairs)
+//
+//	// The artifact persists: train once, serve anywhere.
+//	model.Save(f)
+//	model2, _ := learnrisk.Load(f) // scores bit-identically to model
+//
+// Run bundles Train+Evaluate for one-shot experiments. Training accepts a
+// context.Context (cancellation is checked between epochs) and an optional
+// progress callback via Options.Progress.
 //
 // The import path of this package is "repro"; the package name is
 // learnrisk.
 package learnrisk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
-	"sort"
 
 	"repro/internal/blocking"
-	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
-	"repro/internal/dtree"
-	"repro/internal/eval"
-	"repro/internal/featstore"
 	"repro/internal/metrics"
 	"repro/internal/rules"
 )
@@ -80,8 +90,8 @@ func wrap(inner *dataset.Workload) *Workload {
 // Attr describes one schema attribute for LoadCSV: a name and a value type,
 // one of "entity-name", "entity-set", "text", "numeric", "categorical".
 type Attr struct {
-	Name string
-	Type string
+	Name string `json:"name"`
+	Type string `json:"type"`
 }
 
 func parseAttrType(s string) (metrics.AttrType, error) {
@@ -153,20 +163,27 @@ func LoadCSV(name, leftPath, rightPath, pairsPath string, attrs []Attr) (*Worklo
 	return wrap(inner), nil
 }
 
-// Options configures a pipeline run. Zero values take the paper's defaults.
+// Options configures training. Zero values take the paper's defaults;
+// explicit non-zero values are validated loudly by Train and Run.
 type Options struct {
 	// SplitRatio is "train:validation:test" (default "3:2:5"; Section 7.1).
-	SplitRatio string
-	// VaRConfidence is the risk metric's theta (default 0.9).
-	VaRConfidence float64
-	// RuleDepth bounds risk-feature rule length (default 3).
-	RuleDepth int
+	SplitRatio string `json:"split_ratio"`
+	// VaRConfidence is the risk metric's theta, in (0,1) (default 0.9).
+	VaRConfidence float64 `json:"var_confidence"`
+	// RuleDepth bounds risk-feature rule length, in [1,8] (default 3; the
+	// paper keeps rules short for interpretability).
+	RuleDepth int `json:"rule_depth"`
 	// RiskEpochs is the risk-model training budget (default 1000).
-	RiskEpochs int
+	RiskEpochs int `json:"risk_epochs"`
 	// ClassifierEpochs is the matcher training budget (default 40).
-	ClassifierEpochs int
+	ClassifierEpochs int `json:"classifier_epochs"`
 	// Seed makes the whole run deterministic (default 1).
-	Seed uint64
+	Seed uint64 `json:"seed"`
+	// Progress, when set, receives coarse training progress: the stage
+	// ("classifier", "rules", "risk") and its (done, total) counts. Called
+	// from the training goroutine; keep it fast. Not part of the persisted
+	// artifact.
+	Progress func(stage string, done, total int) `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -179,6 +196,33 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Validate checks the options for nonsense values and returns a descriptive
+// error instead of silently misbehaving downstream. Zero values are valid
+// (they select the documented defaults).
+func (o Options) Validate() error {
+	if o.RuleDepth < 0 {
+		return fmt.Errorf("learnrisk: RuleDepth %d is negative; want 0 (default) or a depth in [1,8]", o.RuleDepth)
+	}
+	if o.RuleDepth > 8 {
+		return fmt.Errorf("learnrisk: RuleDepth %d is past any interpretable rule length; want a depth in [1,8] (the paper keeps h <= 4)", o.RuleDepth)
+	}
+	if o.RiskEpochs < 0 {
+		return fmt.Errorf("learnrisk: RiskEpochs %d is negative; want 0 (default 1000) or a positive budget", o.RiskEpochs)
+	}
+	if o.ClassifierEpochs < 0 {
+		return fmt.Errorf("learnrisk: ClassifierEpochs %d is negative; want 0 (default 40) or a positive budget", o.ClassifierEpochs)
+	}
+	if o.VaRConfidence != 0 && (o.VaRConfidence <= 0 || o.VaRConfidence >= 1) {
+		return fmt.Errorf("learnrisk: VaRConfidence %v outside (0,1); it is the VaR confidence level theta (default 0.9)", o.VaRConfidence)
+	}
+	if o.SplitRatio != "" {
+		if _, _, _, err := dataset.ParseRatio(o.SplitRatio); err != nil {
+			return fmt.Errorf("learnrisk: SplitRatio %q is malformed: %w", o.SplitRatio, err)
+		}
+	}
+	return nil
+}
+
 // RankedPair is one row of the risk ranking.
 type RankedPair struct {
 	PairIndex  int     // index into the workload's candidate pairs
@@ -188,130 +232,80 @@ type RankedPair struct {
 	Mislabeled bool    // ground truth says the machine label is wrong
 }
 
-// Report is the outcome of a pipeline run on one workload.
+// Report is the outcome of evaluating a trained Model on one labeled set of
+// pairs (Run's test split, or any split handed to Model.Evaluate).
 type Report struct {
-	// Ranking lists the test pairs by descending risk.
+	// Ranking lists the evaluated pairs by descending risk.
 	Ranking []RankedPair
 	// AUROC is the risk ranking's quality against ground truth.
 	AUROC float64
 	// ClassifierF1 and ClassifierAccuracy describe the machine classifier
-	// on the test pairs.
+	// on the evaluated pairs.
 	ClassifierF1       float64
 	ClassifierAccuracy float64
-	// Mislabels is the number of mislabeled test pairs.
+	// Mislabels is the number of mislabeled evaluated pairs.
 	Mislabels int
 	// NumFeatures is the number of generated rule risk features.
 	NumFeatures int
-	// RuleCoverage is the fraction of test pairs on which at least one
+	// RuleCoverage is the fraction of evaluated pairs on which at least one
 	// rule feature fires.
 	RuleCoverage float64
 
 	model    *core.Model
 	features []rules.Rule
+	artifact *Model
 	insts    map[int]core.Instance // by pair index
 }
 
-// Run executes the full LearnRisk pipeline on the workload: split by ratio,
-// train the classifier on the training part, generate risk features from
-// the training part, train the risk model on the validation part, and rank
-// the test part by risk.
-//
-// All basic-metric computation flows through a workload-level feature store
-// (internal/featstore): each pair's metric row is computed exactly once and
-// every stage — classifier training, labeling, rule generation, rule firing
-// — reads views of it. Rule evaluation uses the compiled RuleSet, which
-// validates the rule/schema width invariant loudly at compile time.
+// Run executes the full LearnRisk pipeline on the workload — it is a thin
+// wrapper over Train followed by Evaluate on the test part of the split,
+// and produces byte-identical output to the pre-artifact pipeline for the
+// same workload, options and seed. Use Train directly when the model should
+// be reused (served, persisted, or evaluated on several splits).
 func Run(w *Workload, opts Options) (*Report, error) {
-	opts = opts.withDefaults()
-	split, err := w.inner.SplitPairs(opts.SplitRatio, opts.Seed)
+	return RunCtx(context.Background(), w, opts)
+}
+
+// RunCtx is Run with cooperative cancellation and progress reporting (see
+// Train). It shares the train-time feature store with the evaluation, so
+// records appearing in both the training and test splits keep their
+// prepared forms — the prepare-once cost is paid exactly once per run.
+func RunCtx(ctx context.Context, w *Workload, opts Options) (*Report, error) {
+	m, store, err := trainWithStore(ctx, w, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	store := featstore.New(w.inner, w.cat)
-	trainX := store.Rows(split.Train)
-	matcher, err := classifier.TrainRows(w.inner, w.cat, split.Train, trainX, classifier.Config{
-		Epochs: opts.ClassifierEpochs, Seed: opts.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("learnrisk: classifier training: %w", err)
-	}
-
-	// Risk features from the classifier training data (Section 5).
-	trainY := make([]bool, len(split.Train))
-	for k, i := range split.Train {
-		trainY[k] = w.inner.Pairs[i].Match
-	}
-	feats := dtree.GenerateRiskFeatures(trainX, trainY, w.cat.Names(), dtree.OneSidedConfig{
-		MaxDepth: opts.RuleDepth,
-	})
-	rset, err := rules.Compile(feats, store.Width())
-	if err != nil {
-		return nil, fmt.Errorf("learnrisk: rule compilation: %w", err)
-	}
-	stats := rset.Stats(trainX, trainY)
-	model, err := core.New(core.BuildFeatures(feats, stats), core.Config{
-		Theta: opts.VaRConfidence, Epochs: opts.RiskEpochs, Seed: opts.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Risk-model training on the validation part (Section 4.3).
-	validX := store.Rows(split.Valid)
-	validLab := matcher.LabelRows(w.inner, split.Valid, validX)
-	validInsts, validBad := core.BuildInstances(rset.Apply(validX), validLab)
-	if err := model.Fit(validInsts, validBad); err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
-		return nil, fmt.Errorf("learnrisk: risk training: %w", err)
-	}
-
-	// Rank the test part.
-	testX := store.Rows(split.Test)
-	testLab := matcher.LabelRows(w.inner, split.Test, testX)
-	testInsts, testBad := core.BuildInstances(rset.Apply(testX), testLab)
-	risks := model.RiskAll(testInsts)
-
-	rep := &Report{
-		AUROC:              eval.AUROC(risks, testBad),
-		ClassifierF1:       testLab.F1(),
-		ClassifierAccuracy: testLab.Accuracy(),
-		Mislabels:          testLab.MislabelCount(),
-		NumFeatures:        len(feats),
-		RuleCoverage:       rset.Coverage(testX),
-		model:              model,
-		features:           feats,
-		insts:              make(map[int]core.Instance, len(testInsts)),
-	}
-	for k := range testInsts {
-		rep.insts[testLab.Idx[k]] = testInsts[k]
-		rep.Ranking = append(rep.Ranking, RankedPair{
-			PairIndex:  testLab.Idx[k],
-			Risk:       risks[k],
-			Prob:       testLab.Prob[k],
-			Match:      testLab.Label[k],
-			Mislabeled: testBad[k],
-		})
-	}
-	sort.SliceStable(rep.Ranking, func(a, b int) bool {
-		return rep.Ranking[a].Risk > rep.Ranking[b].Risk
-	})
-	return rep, nil
+	return m.evaluateOn(w, m.TestPairs(), store)
 }
 
 // Explain returns the interpretable decomposition of one ranked pair's
 // risk: each contributing risk feature with its weight share in the pair's
 // portfolio, most influential first.
+//
+// The nil contract: Explain returns nil exactly when rp's PairIndex was not
+// part of this report's evaluation. For every evaluated pair the result is
+// non-empty — the classifier-output feature always contributes. Use
+// ExplainIndex to distinguish the two cases explicitly.
 func (r *Report) Explain(rp RankedPair) []string {
-	inst, ok := r.insts[rp.PairIndex]
+	out, _ := r.ExplainIndex(rp.PairIndex)
+	return out
+}
+
+// ExplainIndex explains the risk of the pair with the given workload pair
+// index. The boolean reports whether the pair was part of this report's
+// evaluation: (nil, false) means an unknown pair, while a known pair always
+// yields at least the classifier-output contribution.
+func (r *Report) ExplainIndex(pairIndex int) ([]string, bool) {
+	inst, ok := r.insts[pairIndex]
 	if !ok {
-		return nil
+		return nil, false
 	}
 	var out []string
 	for _, c := range r.model.Explain(inst) {
 		out = append(out, fmt.Sprintf("share=%.2f mu=%.3f sigma=%.3f  %s",
 			c.Share, c.Mu, c.Sigma, c.Description))
 	}
-	return out
+	return out, true
 }
 
 // Features renders the generated risk features, strongest support first.
@@ -322,3 +316,8 @@ func (r *Report) Features() []string {
 	}
 	return out
 }
+
+// Model returns the trained artifact behind this report, for reuse on
+// fresh pairs (Score/ScoreBatch), other splits (Evaluate), or persistence
+// (Save).
+func (r *Report) Model() *Model { return r.artifact }

@@ -1,0 +1,520 @@
+package learnrisk
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"unicode/utf8"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dtree"
+	"repro/internal/eval"
+	"repro/internal/featstore"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/rules"
+)
+
+// Model is the trained LearnRisk artifact: the machine classifier, the
+// generated risk features compiled for evaluation, the fitted risk model
+// (learned weights, RSDs, influence function), and the schema fingerprint
+// binding them to the workload shape they were trained on. A Model is built
+// once by Train (or restored by Load) and then reused: Evaluate ranks a
+// labeled split exactly as Run does, while Score/ScoreBatch risk-score
+// fresh candidate pairs without ground truth and without retraining.
+//
+// A Model is immutable after Train/Load and safe for concurrent use — any
+// number of goroutines may call Score, ScoreBatch, ExplainPair and Evaluate
+// simultaneously.
+type Model struct {
+	attrs   []Attr // schema (name + type), the fingerprint's source of truth
+	fp      string
+	opts    Options
+	cat     *metrics.Catalog // catalog with the training corpora
+	matcher *classifier.Matcher
+	feats   []rules.Rule
+	rset    *rules.RuleSet
+	risk    *core.Model
+
+	split dataset.Split // train-time split; empty on a Loaded model
+}
+
+// Pair is one candidate record pair presented to the serving path as raw
+// attribute values, in the schema order the model was trained on.
+type Pair struct {
+	Left  []string
+	Right []string
+}
+
+// PairScore is the serving-path verdict on one candidate pair: the
+// classifier's output and induced label, plus the risk analysis of that
+// label (the fused equivalence distribution and its VaR mislabeling risk).
+type PairScore struct {
+	Prob  float64 // classifier equivalence probability
+	Match bool    // machine label (Prob >= 0.5)
+	Risk  float64 // VaR risk that the machine label is wrong
+	Mu    float64 // expectation of the fused equivalence distribution
+	Sigma float64 // standard deviation of the fused distribution
+}
+
+// schemaAttrs extracts the facade-level schema description of a workload.
+func schemaAttrs(w *Workload) []Attr {
+	attrs := make([]Attr, len(w.inner.Left.Schema.Attrs))
+	for i, a := range w.inner.Left.Schema.Attrs {
+		attrs[i] = Attr{Name: a.Name, Type: a.Type.String()}
+	}
+	return attrs
+}
+
+// fingerprintOf hashes the schema (attribute names and types) together with
+// the metric catalog layout. Two workloads with the same fingerprint
+// produce interchangeable metric rows; everything a Model consumes is
+// defined over that row space.
+func fingerprintOf(attrs []Attr, metricNames []string) string {
+	h := sha256.New()
+	for _, a := range attrs {
+		io.WriteString(h, a.Name)
+		h.Write([]byte{0})
+		io.WriteString(h, a.Type)
+		h.Write([]byte{1})
+	}
+	h.Write([]byte{2})
+	for _, n := range metricNames {
+		io.WriteString(h, n)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// buildCatalog reconstructs the metric catalog for a schema, leaving the
+// corpora to be attached by the caller. The construction mirrors
+// dataset.Schema.Catalog, so metric names, order and semantics are
+// identical to a workload-built catalog.
+func buildCatalog(attrs []Attr) (*metrics.Catalog, error) {
+	cat := &metrics.Catalog{Corpora: make([]*metrics.Corpus, len(attrs))}
+	for i, a := range attrs {
+		t, err := parseAttrType(a.Type)
+		if err != nil {
+			return nil, err
+		}
+		cat.Metrics = append(cat.Metrics, metrics.ForAttribute(a.Name, i, t)...)
+	}
+	return cat, nil
+}
+
+// Train runs the model-building half of the LearnRisk pipeline on the
+// workload: split by ratio, train the classifier on the training part,
+// generate risk features from it, and fit the risk model on the validation
+// part. The result is a reusable artifact — evaluate it with Evaluate,
+// serve it with Score/ScoreBatch, persist it with Save.
+//
+// The context is plumbed through classifier training, rule generation and
+// risk-model fitting, each of which checks it between epochs (or tree
+// nodes): a canceled context aborts Train with an error satisfying
+// errors.Is(err, ctx.Err()). opts.Progress, when set, receives coarse
+// progress per stage.
+//
+// All basic-metric computation flows through a workload-level feature store
+// (internal/featstore): each pair's metric row is computed exactly once and
+// every stage reads views of it.
+func Train(ctx context.Context, w *Workload, opts Options) (*Model, error) {
+	m, _, err := trainWithStore(ctx, w, opts)
+	return m, err
+}
+
+// trainWithStore is Train, additionally returning the feature store it
+// filled, so Run can evaluate the test split without re-preparing records
+// shared across splits (the prepare-once contract of internal/featstore).
+func trainWithStore(ctx context.Context, w *Workload, opts Options) (*Model, *featstore.Store, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	split, err := w.inner.SplitPairs(opts.SplitRatio, opts.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	store := featstore.New(w.inner, w.cat)
+	trainX := store.Rows(split.Train)
+	matcher, err := classifier.TrainRowsCtx(ctx, w.inner, w.cat, split.Train, trainX, classifier.Config{
+		Epochs: opts.ClassifierEpochs, Seed: opts.Seed,
+	}, stageProgress(opts.Progress, "classifier"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("learnrisk: classifier training: %w", err)
+	}
+
+	// Risk features from the classifier training data (Section 5).
+	trainY := make([]bool, len(split.Train))
+	for k, i := range split.Train {
+		trainY[k] = w.inner.Pairs[i].Match
+	}
+	feats, err := dtree.GenerateRiskFeaturesCtx(ctx, trainX, trainY, w.cat.Names(), dtree.OneSidedConfig{
+		MaxDepth: opts.RuleDepth,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("learnrisk: rule generation: %w", err)
+	}
+	if opts.Progress != nil {
+		opts.Progress("rules", 1, 1)
+	}
+	rset, err := rules.Compile(feats, store.Width())
+	if err != nil {
+		return nil, nil, fmt.Errorf("learnrisk: rule compilation: %w", err)
+	}
+	stats := rset.Stats(trainX, trainY)
+	riskModel, err := core.New(core.BuildFeatures(feats, stats), core.Config{
+		Theta: opts.VaRConfidence, Epochs: opts.RiskEpochs, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Risk-model training on the validation part (Section 4.3).
+	validX := store.Rows(split.Valid)
+	validLab := matcher.LabelRows(w.inner, split.Valid, validX)
+	validInsts, validBad := core.BuildInstances(rset.Apply(validX), validLab)
+	err = riskModel.FitCtx(ctx, validInsts, validBad, stageProgress(opts.Progress, "risk"))
+	if err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
+		return nil, nil, fmt.Errorf("learnrisk: risk training: %w", err)
+	}
+
+	attrs := schemaAttrs(w)
+	// The artifact must not pin whatever the training-side Progress closure
+	// captured; the callback belongs to the Train call, not the model.
+	opts.Progress = nil
+	return &Model{
+		attrs:   attrs,
+		fp:      fingerprintOf(attrs, w.cat.Names()),
+		opts:    opts,
+		cat:     w.cat,
+		matcher: matcher,
+		feats:   feats,
+		rset:    rset,
+		risk:    riskModel,
+		split:   split,
+	}, store, nil
+}
+
+// stageProgress adapts the Options callback to one stage's epoch stream.
+func stageProgress(fn func(stage string, done, total int), stage string) func(done, total int) {
+	if fn == nil {
+		return nil
+	}
+	return func(done, total int) { fn(stage, done, total) }
+}
+
+// Fingerprint returns the schema fingerprint the model is bound to. Every
+// workload whose schema hashes to the same fingerprint can be evaluated and
+// served by this model.
+func (m *Model) Fingerprint() string { return m.fp }
+
+// Options returns the resolved options the model was trained with (zero
+// fields replaced by defaults). For a Loaded model these are the original
+// training options.
+func (m *Model) Options() Options { return m.opts }
+
+// Features renders the model's risk features, strongest support first.
+func (m *Model) Features() []string {
+	out := make([]string, len(m.feats))
+	for i := range m.feats {
+		out[i] = m.feats[i].String()
+	}
+	return out
+}
+
+// NumFeatures returns the number of rule risk features.
+func (m *Model) NumFeatures() int { return len(m.feats) }
+
+// TrainPairs, ValidPairs and TestPairs return the pair indices of the split
+// computed at Train time, as fresh copies (mutating them cannot corrupt the
+// model). They are nil on a model restored by Load — the split belongs to
+// the training workload, not to the artifact.
+func (m *Model) TrainPairs() []int { return append([]int(nil), m.split.Train...) }
+
+// ValidPairs returns a copy of the validation-part pair indices of the
+// train-time split (nil on a Loaded model).
+func (m *Model) ValidPairs() []int { return append([]int(nil), m.split.Valid...) }
+
+// TestPairs returns a copy of the test-part pair indices of the train-time
+// split (nil on a Loaded model).
+func (m *Model) TestPairs() []int { return append([]int(nil), m.split.Test...) }
+
+// CompatibleWith reports whether the workload's schema fingerprint matches
+// the model's, returning a descriptive error when it does not.
+func (m *Model) CompatibleWith(w *Workload) error {
+	got := fingerprintOf(schemaAttrs(w), w.cat.Names())
+	if got != m.fp {
+		return fmt.Errorf("learnrisk: workload %q schema fingerprint %s does not match the model's %s — the model was trained on a different schema",
+			w.Name(), got[:12], m.fp[:12])
+	}
+	return nil
+}
+
+// Evaluate labels the given workload pairs with the model's classifier,
+// risk-scores those labels, and returns the full Report — the same ranking,
+// quality metrics and explanations Run produces for its test split. The
+// workload must carry the model's schema (checked by fingerprint). Metric
+// rows are computed under the model's training catalog, so a model
+// evaluated on a second workload of the same schema sees it through the
+// corpora it was trained with — exactly the serving semantics.
+func (m *Model) Evaluate(w *Workload, idx []int) (*Report, error) {
+	if err := m.CompatibleWith(w); err != nil {
+		return nil, err
+	}
+	if len(idx) == 0 {
+		return nil, errors.New("learnrisk: Evaluate needs at least one pair index")
+	}
+	for _, i := range idx {
+		if i < 0 || i >= w.Size() {
+			return nil, fmt.Errorf("learnrisk: pair index %d outside workload of %d pairs", i, w.Size())
+		}
+	}
+	return m.evaluateOn(w, idx, featstore.New(w.inner, m.cat))
+}
+
+// evaluateOn is Evaluate over a caller-supplied store (Run passes the
+// train-time store so records shared across splits stay prepared once).
+func (m *Model) evaluateOn(w *Workload, idx []int, store *featstore.Store) (*Report, error) {
+	testX := store.Rows(idx)
+	testLab := m.matcher.LabelRows(w.inner, idx, testX)
+	testInsts, testBad := core.BuildInstances(m.rset.Apply(testX), testLab)
+	risks := m.risk.RiskAll(testInsts)
+
+	rep := &Report{
+		AUROC:              eval.AUROC(risks, testBad),
+		ClassifierF1:       testLab.F1(),
+		ClassifierAccuracy: testLab.Accuracy(),
+		Mislabels:          testLab.MislabelCount(),
+		NumFeatures:        len(m.feats),
+		RuleCoverage:       m.rset.Coverage(testX),
+		model:              m.risk,
+		features:           m.feats,
+		artifact:           m,
+		insts:              make(map[int]core.Instance, len(testInsts)),
+	}
+	for k := range testInsts {
+		rep.insts[testLab.Idx[k]] = testInsts[k]
+		rep.Ranking = append(rep.Ranking, RankedPair{
+			PairIndex:  testLab.Idx[k],
+			Risk:       risks[k],
+			Prob:       testLab.Prob[k],
+			Match:      testLab.Label[k],
+			Mislabeled: testBad[k],
+		})
+	}
+	sort.SliceStable(rep.Ranking, func(a, b int) bool {
+		return rep.Ranking[a].Risk > rep.Ranking[b].Risk
+	})
+	return rep, nil
+}
+
+// checkPair validates a serving-path pair against the model's schema
+// arity, so a truncated or misaligned record fails loudly instead of being
+// scored against empty-padded values.
+func (m *Model) checkPair(p Pair) error {
+	if len(p.Left) != len(m.attrs) || len(p.Right) != len(m.attrs) {
+		return fmt.Errorf("learnrisk: pair has %d/%d attribute values, model schema has %d (%s...)",
+			len(p.Left), len(p.Right), len(m.attrs), m.attrs[0].Name)
+	}
+	return nil
+}
+
+// Score risk-scores one fresh candidate pair: the metric row is computed
+// under the model's catalog (the metrics.Prepared fast path), the
+// classifier labels it, the compiled rules fire on it, and the risk model
+// assesses the label. The pair must carry one value per schema attribute.
+// No ground truth is consulted and nothing is retrained. Safe for
+// concurrent use.
+func (m *Model) Score(p Pair) (PairScore, error) {
+	if err := m.checkPair(p); err != nil {
+		return PairScore{}, err
+	}
+	row := featstore.ComputeRow(m.cat, p.Left, p.Right)
+	return m.scoreRow(row), nil
+}
+
+// ScoreBatch risk-scores a batch of fresh candidate pairs in parallel,
+// memoizing value preparation across the batch (a record appearing in many
+// pairs is prepared once). Results are identical to per-pair Score calls,
+// in input order. Safe for concurrent use.
+func (m *Model) ScoreBatch(pairs []Pair) ([]PairScore, error) {
+	raw := make([]featstore.RawPair, len(pairs))
+	for i, p := range pairs {
+		if err := m.checkPair(p); err != nil {
+			return nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+		raw[i] = featstore.RawPair{Left: p.Left, Right: p.Right}
+	}
+	rows := featstore.ComputeRows(m.cat, raw)
+	out := make([]PairScore, len(pairs))
+	par.For(len(pairs), func(i int) {
+		out[i] = m.scoreRow(rows[i])
+	})
+	return out, nil
+}
+
+// instFromRow is the one place a metric row becomes a risk-model instance:
+// classifier output, induced machine label, fired rule set. Score,
+// ScoreBatch and ExplainPair all share it, so labels and explanations can
+// never disagree.
+func (m *Model) instFromRow(row []float64) core.Instance {
+	prob := m.matcher.ProbRow(row)
+	return core.Instance{
+		Fired: m.rset.ApplyRow(row),
+		Prob:  prob,
+		Label: prob >= 0.5,
+	}
+}
+
+func (m *Model) scoreRow(row []float64) PairScore {
+	inst := m.instFromRow(row)
+	a := m.risk.Assess(inst)
+	return PairScore{Prob: inst.Prob, Match: inst.Label, Risk: a.Risk, Mu: a.Mu, Sigma: a.Sigma}
+}
+
+// ExplainPair returns the interpretable decomposition of a fresh pair's
+// risk: each contributing risk feature with its weight share in the pair's
+// portfolio, most influential first. Safe for concurrent use.
+func (m *Model) ExplainPair(p Pair) ([]string, error) {
+	if err := m.checkPair(p); err != nil {
+		return nil, err
+	}
+	inst := m.instFromRow(featstore.ComputeRow(m.cat, p.Left, p.Right))
+	var out []string
+	for _, c := range m.risk.Explain(inst) {
+		out = append(out, fmt.Sprintf("share=%.2f mu=%.3f sigma=%.3f  %s",
+			c.Share, c.Mu, c.Sigma, c.Description))
+	}
+	return out, nil
+}
+
+// modelVersion is the artifact envelope version. Bump it on any change to
+// the envelope layout or to the semantics of its fields.
+const modelVersion = 1
+
+// modelEnvelope is the on-disk form of a Model: a versioned JSON envelope
+// carrying the schema, its fingerprint, the training corpora, the matcher
+// weights, the risk features, and the fitted risk model. Raw parameters are
+// stored everywhere, so a round trip is bit-exact.
+type modelEnvelope struct {
+	Version     int                        `json:"version"`
+	Fingerprint string                     `json:"fingerprint"`
+	Attrs       []Attr                     `json:"attrs"`
+	Options     Options                    `json:"options"`
+	Corpora     []metrics.CorpusSnapshot   `json:"corpora"`
+	Matcher     classifier.MatcherSnapshot `json:"matcher"`
+	Rules       []rules.Rule               `json:"rules"`
+	Risk        json.RawMessage            `json:"risk"`
+}
+
+// Save writes the model as a versioned JSON envelope. The artifact is
+// self-contained: Load rebuilds a model that scores bit-identically
+// anywhere, without the training workload.
+func (m *Model) Save(w io.Writer) error {
+	var riskBuf bytes.Buffer
+	if err := m.risk.Save(&riskBuf); err != nil {
+		return fmt.Errorf("learnrisk: saving risk model: %w", err)
+	}
+	env := modelEnvelope{
+		Version:     modelVersion,
+		Fingerprint: m.fp,
+		Attrs:       m.attrs,
+		Options:     m.opts,
+		Corpora:     make([]metrics.CorpusSnapshot, len(m.cat.Corpora)),
+		Matcher:     m.matcher.Snapshot(),
+		Rules:       m.feats,
+		Risk:        json.RawMessage(riskBuf.Bytes()),
+	}
+	for i, c := range m.cat.Corpora {
+		snap := c.Snapshot()
+		// JSON silently coerces invalid UTF-8 in map keys to U+FFFD, which
+		// would break the bit-identical round trip without any error — so a
+		// corpus holding non-UTF-8 tokens (e.g. from a Latin-1 CSV) refuses
+		// to serialize instead of diverging after Load.
+		for tok := range snap.DF {
+			if !utf8.ValidString(tok) {
+				return fmt.Errorf("learnrisk: attribute %q corpus holds a non-UTF-8 token (%q); re-encode the source data as UTF-8 before training a persistent model",
+					m.attrs[i].Name, tok)
+			}
+		}
+		env.Corpora[i] = snap
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+// Load reads a model written by Save. The schema fingerprint stored in the
+// envelope is recomputed from the envelope's own schema and must match —
+// a mismatch means the artifact was corrupted or assembled against a
+// different schema, and fails loudly. The loaded model scores
+// bit-identically to the saved one.
+func Load(r io.Reader) (*Model, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("learnrisk: decoding model: %w", err)
+	}
+	if env.Version != modelVersion {
+		return nil, fmt.Errorf("learnrisk: unsupported model version %d (this build reads version %d)", env.Version, modelVersion)
+	}
+	if len(env.Attrs) == 0 {
+		return nil, errors.New("learnrisk: model envelope has no schema attributes")
+	}
+	cat, err := buildCatalog(env.Attrs)
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: rebuilding catalog: %w", err)
+	}
+	if len(env.Corpora) != len(cat.Corpora) {
+		return nil, fmt.Errorf("learnrisk: model envelope has %d corpora for %d attributes", len(env.Corpora), len(cat.Corpora))
+	}
+	for i, s := range env.Corpora {
+		cat.Corpora[i] = metrics.RestoreCorpus(s)
+	}
+	fp := fingerprintOf(env.Attrs, cat.Names())
+	if fp != env.Fingerprint {
+		return nil, fmt.Errorf("learnrisk: schema fingerprint mismatch: envelope claims %s but its schema hashes to %s — refusing to load",
+			short(env.Fingerprint), short(fp))
+	}
+	matcher, err := classifier.RestoreMatcher(cat, env.Matcher)
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: restoring matcher: %w", err)
+	}
+	rset, err := rules.Compile(env.Rules, len(cat.Metrics))
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: recompiling rules: %w", err)
+	}
+	risk, err := core.Load(bytes.NewReader(env.Risk))
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: restoring risk model: %w", err)
+	}
+	return &Model{
+		attrs:   env.Attrs,
+		fp:      fp,
+		opts:    env.Options,
+		cat:     cat,
+		matcher: matcher,
+		feats:   env.Rules,
+		rset:    rset,
+		risk:    risk,
+	}, nil
+}
+
+// short clips a fingerprint for error rendering.
+func short(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	if fp == "" {
+		return "(empty)"
+	}
+	return fp
+}

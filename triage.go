@@ -71,8 +71,10 @@ func (r *Report) MinBudgetForAccuracy(target float64) (int, bool, error) {
 	return humo.MinBudgetForAccuracy(l, risks, target)
 }
 
-// SaveModel writes the trained risk model (features, priors, learned
-// weights) as JSON for inspection or reuse via internal/core.Load.
+// SaveModel writes only the trained risk model (features, priors, learned
+// weights) as JSON for inspection. For the full serve-anywhere artifact —
+// classifier, rules, corpora and risk model — use Report.Model().Save,
+// which learnrisk.Load restores.
 func (r *Report) SaveModel(w io.Writer) error {
 	return r.model.Save(w)
 }
