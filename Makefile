@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples vet test race tier1 bench bench-baseline
+.PHONY: build build-examples build-cmds vet test race cover tier1 bench bench-baseline bench-serve
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ build:
 build-examples:
 	$(GO) build ./examples/...
 
+# build-cmds compiles every command explicitly for the same reason — the
+# serving binary (cmd/serve) in particular must always build.
+build-cmds:
+	$(GO) build ./cmd/...
+
 vet:
 	$(GO) vet ./...
 
@@ -18,14 +23,37 @@ test:
 	$(GO) test ./...
 
 # race covers the packages whose hot paths run under internal/par worker
-# pools (disjoint-write contracts), plus the facade's concurrent serving
-# path (Model.Score/ScoreBatch from many goroutines).
+# pools (disjoint-write contracts), the facade's concurrent serving path
+# (Model.Score/ScoreBatch from many goroutines), and the HTTP serving
+# layer (micro-batcher coalescing + model hot-swap under load).
 race:
 	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/...
+	$(GO) test -race ./internal/server/...
 	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent' .
 
+# cover enforces statement-coverage floors on the serving-grade packages:
+# the HTTP/batching layer, the feature store, and the facade (golden
+# regression + Save/Load property tests live there). Raise the floors as
+# coverage grows; never lower them.
+COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 .:85
+
+cover:
+	@set -e; for pf in $(COVER_FLOORS); do \
+	  pkg=$${pf%%:*}; floor=$${pf##*:}; \
+	  out=$$($(GO) test -cover $$pkg) || { echo "$$out"; echo "cover: FAIL $$pkg: tests failed"; exit 1; }; \
+	  pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	  if [ -z "$$pct" ]; then \
+	    echo "cover: FAIL $$pkg: no coverage line in output: $$out"; exit 1; \
+	  fi; \
+	  ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN{print (p>=f) ? 1 : 0}'); \
+	  if [ "$$ok" != "1" ]; then \
+	    echo "cover: FAIL $$pkg at $$pct% (floor $$floor%)"; exit 1; \
+	  fi; \
+	  echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+	done
+
 # tier1 is the verification gate every PR must keep green (ROADMAP.md).
-tier1: build build-examples vet test race
+tier1: build build-examples build-cmds vet test race cover
 
 # bench refreshes the "current" section of BENCH_PR1.json with this
 # machine's numbers; bench-baseline records the pre-change numbers before
@@ -35,3 +63,8 @@ bench:
 
 bench-baseline:
 	$(GO) run ./cmd/bench -out BENCH_PR1.json -label baseline
+
+# bench-serve measures serving throughput: direct Score calls vs the
+# micro-batcher (greedy and lingering). See PERFORMANCE.md.
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkServe -benchmem ./internal/server

@@ -1,0 +1,126 @@
+// Command serve runs the risk-scoring HTTP service: a trained
+// learnrisk.Model behind a dynamic micro-batcher with atomic hot-swap.
+//
+// Load a saved artifact (the production shape — train once with
+// cmd/learnrisk -save, serve anywhere):
+//
+//	serve -model model.json -addr :8080
+//
+// Or train a model at startup on a synthetic workload (handy for demos and
+// smoke tests; the artifact can then be hot-swapped later):
+//
+//	serve -profile AB -scale 0.05 -seed 9 -addr :8080
+//
+// Endpoints (JSON):
+//
+//	POST /v1/score         {"left": [...], "right": [...]}
+//	POST /v1/score/batch   {"pairs": [{"left": [...], "right": [...]}, ...]}
+//	POST /v1/explain       {"left": [...], "right": [...]}
+//	GET  /v1/model
+//	POST /v1/model/reload  {"path": "new.json", "force": false}
+//	GET  /healthz
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
+// finish (bounded by -shutdown-timeout), then the micro-batcher stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	learnrisk "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		modelPath   = flag.String("model", "", "saved model artifact to serve (also the default for /v1/model/reload)")
+		profile     = flag.String("profile", "AB", "synthetic profile to train on when -model is empty: DS|AB|AG|SG|DA")
+		scale       = flag.Float64("scale", 0.05, "synthetic dataset scale for startup training")
+		seed        = flag.Uint64("seed", 1, "seed for startup training")
+		maxBatch    = flag.Int("max-batch", 64, "micro-batcher flush size (1 disables coalescing)")
+		maxLinger   = flag.Duration("max-linger", 2*time.Millisecond, "micro-batcher linger before an under-full batch flushes (0 = greedy)")
+		readTimeout = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTO     = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		idleTO      = flag.Duration("idle-timeout", 60*time.Second, "HTTP idle timeout")
+		shutdownTO  = flag.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	model, err := obtainModel(*modelPath, *profile, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving model %.12s (%d risk features, envelope v%d)",
+		model.Fingerprint(), model.NumFeatures(), model.EnvelopeVersion())
+
+	srv := server.New(model, server.Config{
+		MaxBatch:  *maxBatch,
+		MaxLinger: *maxLinger,
+		ModelPath: *modelPath,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTO,
+		IdleTimeout:  *idleTO,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (max-batch=%d max-linger=%s)", *addr, *maxBatch, *maxLinger)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining in-flight requests (up to %s)", *shutdownTO)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("served %d pairs across %d hot-swaps; bye", srv.Served(), srv.Swaps())
+}
+
+// obtainModel loads the artifact at path, or trains a fresh model on a
+// synthetic workload when no path is given.
+func obtainModel(path, profile string, scale float64, seed uint64) (*learnrisk.Model, error) {
+	if path != "" {
+		m, err := learnrisk.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded artifact %s", path)
+		return m, nil
+	}
+	log.Printf("no -model artifact: training on synthetic %s at scale %g (seed %d)", profile, scale, seed)
+	w, err := learnrisk.Generate(profile, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := learnrisk.Train(context.Background(), w, learnrisk.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("startup training: %w", err)
+	}
+	return m, nil
+}

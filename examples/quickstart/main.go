@@ -3,6 +3,10 @@
 // Save/Load — the train→score→persist shape of the redesigned API.
 //
 //	go run ./examples/quickstart
+//
+// The saved artifact is what cmd/serve puts behind the HTTP scoring API
+// (micro-batched, hot-swappable): `go run ./cmd/serve -model model.json`.
+// See examples/serving for the service under concurrent load.
 package main
 
 import (

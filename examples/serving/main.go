@@ -1,28 +1,38 @@
-// Serving: train a model once, then serve concurrent risk-scoring traffic
-// on fresh candidate pairs — the production shape the Train/Score split
-// enables. Several worker goroutines push batches through ScoreBatch on the
-// same shared Model; the artifact is immutable, so no locking is needed.
+// Serving: train a model once, stand up the risk-scoring HTTP service on a
+// loopback listener, and drive it with concurrent clients — the production
+// shape of the repository: cmd/serve is this same server behind a real
+// address. Single-pair requests are coalesced by the dynamic micro-batcher
+// into ScoreBatch calls; mid-traffic the model is hot-swapped through the
+// reload endpoint with zero dropped requests.
 //
 //	go run ./examples/serving
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	learnrisk "repro"
+	"repro/internal/server"
 )
 
 const (
-	workers   = 8
-	batches   = 4  // batches per worker
-	batchSize = 64 // pairs per batch
+	workers  = 8
+	requests = 32 // single-pair requests per worker
 )
 
 func main() {
-	// Train the artifact once on a products-shaped workload.
+	// Train the artifact once on a products-shaped workload and save it —
+	// the saved envelope doubles as the hot-swap source below.
 	w, err := learnrisk.Generate("AB", 0.05, 9)
 	if err != nil {
 		log.Fatal(err)
@@ -33,37 +43,69 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	dir, err := os.MkdirTemp("", "serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	artifact := filepath.Join(dir, "model.json")
+	f, err := os.Create(artifact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
 	fmt.Printf("trained: %d risk features, fingerprint %.12s\n",
 		model.NumFeatures(), model.Fingerprint())
 
-	// Simulate serving traffic: every worker draws "fresh" pairs (here,
-	// recombinations of workload records the model never saw as a split)
-	// and scores them concurrently on the one shared model.
-	var wg sync.WaitGroup
-	type stat struct {
-		pairs int
-		risky int // risk above 0.5: route to human review
+	// Stand the service up on a loopback port — exactly what cmd/serve
+	// does, minus the flags.
+	srv := server.New(model, server.Config{
+		MaxBatch: 32, MaxLinger: 2 * time.Millisecond, ModelPath: artifact,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
 	}
-	stats := make([]stat, workers)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n", base)
+
+	// Concurrent clients: every worker scores "fresh" pairs one request at
+	// a time; the micro-batcher coalesces them server-side.
+	var wg sync.WaitGroup
+	risky := make([]int, workers)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
-			for b := 0; b < batches; b++ {
-				batch := make([]learnrisk.Pair, batchSize)
-				for i := range batch {
-					l, r := w.PairValues((wk*7919 + b*104729 + i*31) % w.Size())
-					batch[i] = learnrisk.Pair{Left: l, Right: r}
+			for i := 0; i < requests; i++ {
+				l, r := w.PairValues((wk*7919 + i*104729) % w.Size())
+				var verdict struct {
+					Risk float64 `json:"risk"`
 				}
-				scores, err := model.ScoreBatch(batch)
-				if err != nil {
+				if err := post(base+"/v1/score", map[string]any{"left": l, "right": r}, &verdict); err != nil {
 					log.Printf("worker %d: %v", wk, err)
 					return
 				}
-				for _, s := range scores {
-					stats[wk].pairs++
-					if s.Risk > 0.5 {
-						stats[wk].risky++
+				if verdict.Risk > 0.5 {
+					risky[wk]++
+				}
+				// Halfway through, one worker hot-swaps the model from the
+				// saved artifact; traffic never stops.
+				if wk == 0 && i == requests/2 {
+					var rel struct {
+						NewFingerprint string `json:"new_fingerprint"`
+					}
+					if err := post(base+"/v1/model/reload", map[string]any{}, &rel); err != nil {
+						log.Printf("reload: %v", err)
+					} else {
+						fmt.Printf("hot-swapped model mid-traffic (fingerprint %.12s)\n", rel.NewFingerprint)
 					}
 				}
 			}
@@ -71,30 +113,51 @@ func main() {
 	}
 	wg.Wait()
 
-	total, risky := 0, 0
-	for _, s := range stats {
-		total += s.pairs
-		risky += s.risky
+	totalRisky := 0
+	for _, r := range risky {
+		totalRisky += r
 	}
-	fmt.Printf("served %d pairs across %d workers; %d flagged risk>0.5 for review\n",
-		total, workers, risky)
+	flushes, pairs := srv.BatchStats()
+	fmt.Printf("served %d pairs (%d flagged risk>0.5) in %d micro-batches — %.1f pairs/flush\n",
+		srv.Served(), totalRisky, flushes, float64(pairs)/float64(flushes))
 
-	// One explained verdict, as a serving endpoint would render it.
+	// One explained verdict over the wire, as a review UI would render it.
 	l, r := w.PairValues(0)
-	p := learnrisk.Pair{Left: l, Right: r}
-	s, err := model.Score(p)
-	if err != nil {
+	var why struct {
+		Prob        float64  `json:"prob"`
+		Match       bool     `json:"match"`
+		Risk        float64  `json:"risk"`
+		Explanation []string `json:"explanation"`
+	}
+	if err := post(base+"/v1/explain", map[string]any{"left": l, "right": r}, &why); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nexample verdict: prob=%.3f match=%v risk=%.3f\n", s.Prob, s.Match, s.Risk)
-	why, err := model.ExplainPair(p)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(why) > 2 {
-		why = why[:2]
-	}
-	for _, line := range why {
+	fmt.Printf("\nexample verdict: prob=%.3f match=%v risk=%.3f\n", why.Prob, why.Match, why.Risk)
+	for i, line := range why.Explanation {
+		if i == 2 {
+			break
+		}
 		fmt.Println("  why: " + line)
 	}
+}
+
+// post sends one JSON request and decodes the JSON response into out.
+func post(url string, body any, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

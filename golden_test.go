@@ -1,0 +1,179 @@
+package learnrisk
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The golden regression test pins the full pipeline's observable output on
+// a committed fixture workload: every future PR — especially performance
+// work — proves bit-identical behavior by leaving testdata/golden/report.json
+// untouched. Regenerate deliberately after an intended behavior change:
+//
+//	go test -run TestGoldenReport -update .
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/report.json from the current pipeline output")
+
+// goldenOptions pins the training configuration of the golden run. Changing
+// any of these is a behavior change and demands a golden refresh.
+func goldenOptions() Options {
+	return Options{SplitRatio: "3:2:5", RiskEpochs: 150, ClassifierEpochs: 15, Seed: 7}
+}
+
+// goldenRanked is one ranking row in the golden file.
+type goldenRanked struct {
+	PairIndex  int     `json:"pair_index"`
+	Risk       float64 `json:"risk"`
+	Prob       float64 `json:"prob"`
+	Match      bool    `json:"match"`
+	Mislabeled bool    `json:"mislabeled"`
+}
+
+// goldenReport is the pinned shape of a full Run: workload statistics,
+// report scalars, the complete risk-ordered ranking, the generated rule
+// features, and the triage outcome of a fixed human budget.
+type goldenReport struct {
+	WorkloadPairs   int            `json:"workload_pairs"`
+	WorkloadMatches int            `json:"workload_matches"`
+	AUROC           float64        `json:"auroc"`
+	ClassifierF1    float64        `json:"classifier_f1"`
+	ClassifierAcc   float64        `json:"classifier_accuracy"`
+	Mislabels       int            `json:"mislabels"`
+	NumFeatures     int            `json:"num_features"`
+	RuleCoverage    float64        `json:"rule_coverage"`
+	Features        []string       `json:"features"`
+	Ranking         []goldenRanked `json:"ranking"`
+	TriageBudget    int            `json:"triage_budget"`
+	Triage          TriageOutcome  `json:"triage"`
+}
+
+// goldenWorkload loads the committed fixture CSVs.
+func goldenWorkload(t *testing.T) *Workload {
+	t.Helper()
+	dir := filepath.Join("testdata", "golden")
+	w, err := LoadCSV("golden-DS",
+		filepath.Join(dir, "left.csv"),
+		filepath.Join(dir, "right.csv"),
+		filepath.Join(dir, "pairs.csv"),
+		[]Attr{
+			{Name: "title", Type: "text"},
+			{Name: "authors", Type: "entity-set"},
+			{Name: "venue", Type: "entity-name"},
+			{Name: "year", Type: "numeric"},
+		})
+	if err != nil {
+		t.Fatalf("loading golden fixture: %v", err)
+	}
+	return w
+}
+
+// currentGolden runs the pipeline on the fixture and renders the golden
+// shape.
+func currentGolden(t *testing.T) goldenReport {
+	t.Helper()
+	w := goldenWorkload(t)
+	rep, err := Run(w, goldenOptions())
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	const budget = 20
+	triage, err := rep.Triage(budget)
+	if err != nil {
+		t.Fatalf("golden triage: %v", err)
+	}
+	g := goldenReport{
+		WorkloadPairs:   w.Size(),
+		WorkloadMatches: w.Matches(),
+		AUROC:           rep.AUROC,
+		ClassifierF1:    rep.ClassifierF1,
+		ClassifierAcc:   rep.ClassifierAccuracy,
+		Mislabels:       rep.Mislabels,
+		NumFeatures:     rep.NumFeatures,
+		RuleCoverage:    rep.RuleCoverage,
+		Features:        rep.Features(),
+		TriageBudget:    budget,
+		Triage:          triage,
+	}
+	for _, rp := range rep.Ranking {
+		g.Ranking = append(g.Ranking, goldenRanked{
+			PairIndex: rp.PairIndex, Risk: rp.Risk, Prob: rp.Prob,
+			Match: rp.Match, Mislabeled: rp.Mislabeled,
+		})
+	}
+	return g
+}
+
+const goldenPath = "testdata/golden/report.json"
+
+func TestGoldenReport(t *testing.T) {
+	got := currentGolden(t)
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d ranked pairs)", goldenPath, len(got.Ranking))
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (run `go test -run TestGoldenReport -update .` to create it): %v", goldenPath, err)
+	}
+	var want goldenReport
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+
+	// Scalars first, for focused failure messages.
+	if got.WorkloadPairs != want.WorkloadPairs || got.WorkloadMatches != want.WorkloadMatches {
+		t.Errorf("workload shape %d/%d, golden %d/%d",
+			got.WorkloadPairs, got.WorkloadMatches, want.WorkloadPairs, want.WorkloadMatches)
+	}
+	if got.AUROC != want.AUROC {
+		t.Errorf("AUROC %v, golden %v", got.AUROC, want.AUROC)
+	}
+	if got.ClassifierF1 != want.ClassifierF1 || got.ClassifierAcc != want.ClassifierAcc {
+		t.Errorf("classifier F1/acc %v/%v, golden %v/%v",
+			got.ClassifierF1, got.ClassifierAcc, want.ClassifierF1, want.ClassifierAcc)
+	}
+	if got.Mislabels != want.Mislabels || got.NumFeatures != want.NumFeatures || got.RuleCoverage != want.RuleCoverage {
+		t.Errorf("mislabels/features/coverage %d/%d/%v, golden %d/%d/%v",
+			got.Mislabels, got.NumFeatures, got.RuleCoverage,
+			want.Mislabels, want.NumFeatures, want.RuleCoverage)
+	}
+	if !reflect.DeepEqual(got.Features, want.Features) {
+		t.Errorf("risk features drifted:\n got %v\nwant %v", got.Features, want.Features)
+	}
+	if len(got.Ranking) != len(want.Ranking) {
+		t.Fatalf("ranking has %d pairs, golden %d", len(got.Ranking), len(want.Ranking))
+	}
+	for i := range want.Ranking {
+		if got.Ranking[i] != want.Ranking[i] {
+			t.Errorf("ranking[%d] = %+v, golden %+v", i, got.Ranking[i], want.Ranking[i])
+			if i > 3 {
+				t.Fatal("(further ranking diffs suppressed)")
+			}
+		}
+	}
+	if got.Triage != want.Triage || got.TriageBudget != want.TriageBudget {
+		t.Errorf("triage %+v (budget %d), golden %+v (budget %d)",
+			got.Triage, got.TriageBudget, want.Triage, want.TriageBudget)
+	}
+}
+
+// TestGoldenRunIsDeterministic guards the golden file's premise: two runs
+// on the fixture with the pinned options are identical, so a golden
+// mismatch always means a behavior change, never nondeterminism.
+func TestGoldenRunIsDeterministic(t *testing.T) {
+	a := currentGolden(t)
+	b := currentGolden(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical golden runs disagree — the pipeline is nondeterministic")
+	}
+}

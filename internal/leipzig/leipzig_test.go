@@ -149,6 +149,79 @@ func TestEntityComponentsHandleManyToMany(t *testing.T) {
 	}
 }
 
+func TestLoadMalformedCSV(t *testing.T) {
+	spec := DBLPScholar()
+	ok := func(s string) *strings.Reader { return strings.NewReader(s) }
+
+	// A bare quote in the mapping file is a CSV syntax error (the record
+	// readers run with LazyQuotes, the mapping reader does not).
+	badQuote := "a,b\nd1,\"s1\" oops\n"
+	if _, err := Load(spec, ok(dblpCSV), ok(scholarCSV), ok(badQuote)); err == nil {
+		t.Error("mapping with a bare quote should fail")
+	}
+
+	// A record row shorter than the id column's position fails loudly
+	// instead of inventing an empty id. (The header maps columns by name,
+	// so put id last to make a short row drop it.)
+	idLast := "title,authors,venue,year,id\nspatial joins,t brinkhoff,sigmod,1993\n"
+	if _, err := Load(spec, ok(idLast), ok(scholarCSV), ok(mappingCSV)); err == nil {
+		t.Error("row missing its id column should fail")
+	} else if !strings.Contains(err.Error(), "missing id") {
+		t.Errorf("error %q does not name the missing id", err)
+	}
+
+	// Mapping with only a header yields zero matches but loads — blocking
+	// still produces candidates, all non-matching.
+	w, err := Load(spec, ok(dblpCSV), ok(scholarCSV), ok("a,b\n"))
+	if err != nil {
+		t.Fatalf("header-only mapping: %v", err)
+	}
+	if got := w.MatchCount(); got != 0 {
+		t.Errorf("matches = %d, want 0", got)
+	}
+}
+
+func TestLoadShortAndLongRowsAreLenient(t *testing.T) {
+	// The published files have ragged rows (records with trailing columns
+	// missing); the loader pads them with empty values rather than failing.
+	ragged := "id,title,authors,venue,year\nd1,spatial joins,t brinkhoff\nd2,query optimization,s chaudhuri,tods,1998,EXTRA\n"
+	w, err := Load(DBLPScholar(),
+		strings.NewReader(ragged), strings.NewReader(scholarCSV), strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := w.Left.Records[0]
+	if d1.Values[2] != "" || d1.Values[3] != "" {
+		t.Errorf("short row not padded: %v", d1.Values)
+	}
+	d2 := w.Left.Records[1]
+	if d2.Values[0] != "query optimization" || d2.Values[3] != "1998" {
+		t.Errorf("long row mis-mapped: %v", d2.Values)
+	}
+}
+
+func TestLoadDuplicateMappingRows(t *testing.T) {
+	// The same mapped pair listed twice must not produce a duplicate
+	// candidate pair.
+	dupMap := "a,b\nd1,s1\nd1,s1\nd2,s2\n"
+	w, err := Load(DBLPScholar(),
+		strings.NewReader(dblpCSV), strings.NewReader(scholarCSV), strings.NewReader(dupMap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MatchCount(); got != 2 {
+		t.Errorf("matches = %d, want 2 (duplicate mapping row deduplicated)", got)
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range w.Pairs {
+		key := [2]int{p.Left, p.Right}
+		if seen[key] {
+			t.Fatalf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
 func TestPresetsWellFormed(t *testing.T) {
 	for _, spec := range []Spec{DBLPScholar(), AbtBuy(), AmazonGoogle()} {
 		if len(spec.LeftColumns) != len(spec.Schema.Attrs) {

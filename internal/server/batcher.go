@@ -1,0 +1,231 @@
+// Package server turns a trained learnrisk.Model into a network service:
+// an HTTP JSON API over a dynamic micro-batcher and an atomically
+// hot-swappable model artifact.
+//
+// The micro-batcher is the serving-side counterpart of the train-side
+// feature store: concurrent single-pair requests are coalesced into one
+// Model.ScoreBatch call, so the per-batch value-preparation memoization of
+// featstore.ComputeRows is amortized across requests that arrive together.
+// Batch scores are bit-identical to unbatched Model.Score calls — batching
+// changes latency and throughput, never verdicts.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	learnrisk "repro"
+)
+
+// ErrClosed is returned by Submit after Close: the batcher no longer
+// accepts work. Requests accepted before Close are always answered.
+var ErrClosed = errors.New("server: batcher closed")
+
+// pending is one in-flight single-pair request: the pair and the channel
+// its verdict comes back on. The channel is buffered (capacity 1) and
+// receives exactly one send, so the scoring loop never blocks on a
+// requester that gave up (context cancellation).
+type pending struct {
+	pair learnrisk.Pair
+	resp chan scored
+}
+
+// scored is one request's outcome: the verdict and the fingerprint of the
+// model that produced it (under hot-swap, requests in one batch share one
+// model snapshot).
+type scored struct {
+	score learnrisk.PairScore
+	fp    string
+	err   error
+}
+
+// Batcher coalesces concurrent single-pair scoring requests into
+// Model.ScoreBatch calls. A batch is flushed when it reaches MaxBatch
+// pairs or when MaxLinger has passed since its first pair arrived,
+// whichever comes first; under low load a lone request therefore waits at
+// most MaxLinger before scoring alone.
+//
+// The model is read through an atomic pointer shared with the Server, so a
+// hot swap takes effect at the next flush: batches in flight keep the
+// snapshot they started with (the artifact is immutable), and no request
+// is ever dropped by a swap.
+type Batcher struct {
+	model    *atomic.Pointer[learnrisk.Model]
+	reqs     chan pending
+	maxBatch int
+	linger   time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup // live Submit calls
+
+	stop chan struct{} // closed by Close after the last Submit returns
+	done chan struct{} // closed when the scoring loop has exited
+
+	flushes atomic.Int64 // ScoreBatch calls issued
+	batched atomic.Int64 // pairs scored through those calls
+}
+
+// NewBatcher starts a micro-batcher over the given shared model pointer.
+// maxBatch < 1 disables coalescing (every request scores alone);
+// linger <= 0 makes flushes greedy: a batch takes whatever is already
+// queued and never waits for more.
+func NewBatcher(model *atomic.Pointer[learnrisk.Model], maxBatch int, linger time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &Batcher{
+		model:    model,
+		reqs:     make(chan pending, 4*maxBatch),
+		maxBatch: maxBatch,
+		linger:   linger,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Submit scores one pair through the micro-batcher, blocking until the
+// batch it joined is flushed (at most MaxLinger plus the ScoreBatch time)
+// or the context is canceled. The returned fingerprint identifies the
+// model snapshot that produced the verdict. The score is bit-identical to
+// calling Score on that snapshot directly.
+func (b *Batcher) Submit(ctx context.Context, pair learnrisk.Pair) (learnrisk.PairScore, string, error) {
+	// Reject malformed pairs before they join a batch: one bad request
+	// must not cost its batchmates anything. The arity check runs against
+	// the current model; flush re-isolates if a swap changes the schema
+	// between here and scoring.
+	if err := b.model.Load().CheckPair(pair); err != nil {
+		return learnrisk.PairScore{}, "", err
+	}
+	p := pending{pair: pair, resp: make(chan scored, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return learnrisk.PairScore{}, "", ErrClosed
+	}
+	b.wg.Add(1)
+	b.mu.Unlock()
+	defer b.wg.Done()
+	select {
+	case b.reqs <- p:
+	case <-ctx.Done():
+		return learnrisk.PairScore{}, "", ctx.Err()
+	}
+	select {
+	case s := <-p.resp:
+		return s.score, s.fp, s.err
+	case <-ctx.Done():
+		// The loop will still deliver into the buffered channel; only the
+		// caller stops waiting.
+		return learnrisk.PairScore{}, "", ctx.Err()
+	}
+}
+
+// Close stops accepting new requests, waits until every accepted request
+// has been answered (or its submitter gave up), and shuts the scoring loop
+// down. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	b.mu.Unlock()
+	if !already {
+		b.wg.Wait()
+		close(b.stop)
+	}
+	<-b.done
+}
+
+// Flushes returns how many ScoreBatch calls the batcher has issued and how
+// many pairs went through them — the coalescing ratio batched/flushes is
+// the serving-side analogue of a cache hit rate.
+func (b *Batcher) Flushes() (flushes, pairs int64) {
+	return b.flushes.Load(), b.batched.Load()
+}
+
+// loop is the single scoring goroutine: collect a batch, snapshot the
+// model, flush, repeat. One goroutine means batch assembly needs no locks;
+// scoring itself fans out inside ScoreBatch (internal/par).
+func (b *Batcher) loop() {
+	defer close(b.done)
+	for {
+		var first pending
+		select {
+		case first = <-b.reqs:
+		case <-b.stop:
+			// Drain requests whose submitters were canceled mid-queue; the
+			// buffered response channels absorb the sends.
+			for {
+				select {
+				case p := <-b.reqs:
+					b.flush([]pending{p})
+				default:
+					return
+				}
+			}
+		}
+		batch := append(make([]pending, 0, b.maxBatch), first)
+		batch = b.collect(batch)
+		b.flush(batch)
+	}
+}
+
+// collect grows a batch started by its first request: greedily take
+// everything already queued, then linger for late arrivals until the batch
+// is full or the linger budget is spent.
+func (b *Batcher) collect(batch []pending) []pending {
+	for len(batch) < b.maxBatch {
+		select {
+		case p := <-b.reqs:
+			batch = append(batch, p)
+			continue
+		default:
+		}
+		break
+	}
+	if b.linger <= 0 || len(batch) >= b.maxBatch {
+		return batch
+	}
+	deadline := time.NewTimer(b.linger)
+	defer deadline.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case p := <-b.reqs:
+			batch = append(batch, p)
+		case <-deadline.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush scores one batch against a single model snapshot and fans the
+// verdicts out. If ScoreBatch rejects the batch as a whole (possible when
+// a hot swap changed the schema after the Submit-time check), each pair is
+// re-scored alone on the same snapshot so errors stay per-request.
+func (b *Batcher) flush(batch []pending) {
+	m := b.model.Load()
+	fp := m.Fingerprint()
+	pairs := make([]learnrisk.Pair, len(batch))
+	for i, p := range batch {
+		pairs[i] = p.pair
+	}
+	b.flushes.Add(1)
+	b.batched.Add(int64(len(batch)))
+	scores, err := m.ScoreBatch(pairs)
+	if err != nil {
+		for _, p := range batch {
+			s, serr := m.Score(p.pair)
+			p.resp <- scored{score: s, fp: fp, err: serr}
+		}
+		return
+	}
+	for i, p := range batch {
+		p.resp <- scored{score: scores[i], fp: fp}
+	}
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	learnrisk "repro"
+)
+
+// Sentinel errors the HTTP layer classifies with errors.Is; the wrapped
+// messages carry the details.
+var (
+	// ErrFingerprintConflict marks a refused hot-swap: the new model's
+	// schema fingerprint differs from the served one and force was not set.
+	ErrFingerprintConflict = errors.New("server: model schema fingerprint conflict")
+	// ErrNoArtifactPath marks a reload with no usable artifact path.
+	ErrNoArtifactPath = errors.New("server: no artifact path")
+	// ErrPathOutsideArtifactDir marks a reload path outside the directory
+	// of the configured artifact.
+	ErrPathOutsideArtifactDir = errors.New("server: reload path outside the artifact directory")
+)
+
+// Config sizes the serving front end. The zero value takes the defaults.
+type Config struct {
+	// MaxBatch is the micro-batcher's flush size (default 64): concurrent
+	// single-pair requests coalesce into ScoreBatch calls of at most this
+	// many pairs. 1 disables coalescing.
+	MaxBatch int
+	// MaxLinger bounds how long an under-full batch waits for company
+	// (default 2ms). 0 keeps flushes greedy: a batch takes what is queued
+	// and never waits — lowest latency, least coalescing.
+	MaxLinger time.Duration
+	// ModelPath, when set, is the default artifact the reload endpoint
+	// re-reads when the request names no path. It also anchors the reload
+	// allowlist: request-supplied paths must live in the same directory
+	// (the reload endpoint is reachable by any client that can score, so
+	// it must not open arbitrary server-side files). With no ModelPath,
+	// path-bearing reloads are refused outright; use Swap from code.
+	ModelPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxLinger == 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Server serves one hot-swappable learnrisk.Model. The model lives behind
+// an atomic.Pointer: scoring paths snapshot it per request (or per batch
+// flush), Swap publishes a replacement, and because the artifact is
+// immutable, requests in flight during a swap complete on the snapshot
+// they started with — zero dropped requests, no locks on the hot path.
+type Server struct {
+	cfg     Config
+	model   atomic.Pointer[learnrisk.Model]
+	batcher *Batcher
+
+	reloadMu sync.Mutex // serializes Swap/Reload (loading is expensive)
+	swaps    atomic.Int64
+	served   atomic.Int64
+}
+
+// New builds a Server around an already-loaded model.
+func New(m *learnrisk.Model, cfg Config) *Server {
+	if m == nil {
+		panic("server: New needs a non-nil model")
+	}
+	s := &Server{cfg: cfg.withDefaults()}
+	s.model.Store(m)
+	s.batcher = NewBatcher(&s.model, s.cfg.MaxBatch, s.cfg.MaxLinger)
+	return s
+}
+
+// Close drains and stops the micro-batcher. In-flight requests are
+// answered first.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Model returns the currently-served model snapshot.
+func (s *Server) Model() *learnrisk.Model { return s.model.Load() }
+
+// Served returns how many pairs the server has scored (single and batch).
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Swaps returns how many model hot-swaps have been published.
+func (s *Server) Swaps() int64 { return s.swaps.Load() }
+
+// BatchStats reports the micro-batcher's coalescing: how many ScoreBatch
+// flushes it issued and how many single-pair requests rode them.
+func (s *Server) BatchStats() (flushes, pairs int64) { return s.batcher.Flushes() }
+
+// Score risk-scores one pair through the micro-batcher and reports which
+// model snapshot produced the verdict.
+func (s *Server) Score(ctx context.Context, p learnrisk.Pair) (learnrisk.PairScore, string, error) {
+	score, fp, err := s.batcher.Submit(ctx, p)
+	if err == nil {
+		s.served.Add(1)
+	}
+	return score, fp, err
+}
+
+// ScoreBatch risk-scores a client-assembled batch directly on the current
+// snapshot — it is already a batch, so it bypasses the micro-batcher.
+func (s *Server) ScoreBatch(pairs []learnrisk.Pair) ([]learnrisk.PairScore, string, error) {
+	m := s.model.Load()
+	scores, err := m.ScoreBatch(pairs)
+	if err != nil {
+		return nil, "", err
+	}
+	s.served.Add(int64(len(pairs)))
+	return scores, m.Fingerprint(), nil
+}
+
+// Explain scores one pair on the current snapshot and returns the
+// interpretable risk decomposition next to the verdict.
+func (s *Server) Explain(p learnrisk.Pair) (learnrisk.PairScore, []string, string, error) {
+	m := s.model.Load()
+	score, err := m.Score(p)
+	if err != nil {
+		return learnrisk.PairScore{}, nil, "", err
+	}
+	why, err := m.ExplainPair(p)
+	if err != nil {
+		return learnrisk.PairScore{}, nil, "", err
+	}
+	s.served.Add(1)
+	return score, why, m.Fingerprint(), nil
+}
+
+// Swap publishes a replacement model. Unless force is set, the new model
+// must carry the same schema fingerprint as the one it replaces: a
+// retrained artifact for the same workload swaps freely, while a model for
+// a different schema would silently invalidate every client's pair layout
+// and is refused. Requests in flight finish on the old snapshot.
+func (s *Server) Swap(next *learnrisk.Model, force bool) error {
+	if next == nil {
+		return fmt.Errorf("server: refusing to swap in a nil model")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cur := s.model.Load()
+	if !force && next.Fingerprint() != cur.Fingerprint() {
+		return fmt.Errorf("%w: new model fingerprint %.12s does not match the served %.12s; a schema change needs force=true",
+			ErrFingerprintConflict, next.Fingerprint(), cur.Fingerprint())
+	}
+	s.model.Store(next)
+	s.swaps.Add(1)
+	return nil
+}
+
+// Reload loads the artifact at path (or the configured ModelPath when path
+// is empty) and hot-swaps it in. It returns the fingerprints of the old
+// and new models; the load is fingerprint-checked twice — internally by
+// learnrisk.Load, and against the served schema by Swap. Paths are
+// confined to the configured artifact's directory: the endpoint is open to
+// every client that can score, so it must never open arbitrary files.
+func (s *Server) Reload(path string, force bool) (oldFP, newFP string, err error) {
+	if path == "" {
+		path = s.cfg.ModelPath
+		if path == "" {
+			return "", "", fmt.Errorf("%w: the reload request named none and the server was started without one", ErrNoArtifactPath)
+		}
+	} else if err := s.checkReloadPath(path); err != nil {
+		return "", "", err
+	}
+	next, err := learnrisk.LoadFile(path)
+	if err != nil {
+		return "", "", err
+	}
+	oldFP = s.model.Load().Fingerprint()
+	if err := s.Swap(next, force); err != nil {
+		return "", "", err
+	}
+	return oldFP, next.Fingerprint(), nil
+}
+
+// checkReloadPath confines request-supplied reload paths to the configured
+// artifact's directory (symlink-resolved, so a link inside the directory
+// cannot point the load elsewhere). With no configured artifact there is
+// no trusted directory and every request-supplied path is refused.
+func (s *Server) checkReloadPath(path string) error {
+	if s.cfg.ModelPath == "" {
+		return fmt.Errorf("%w: the server was started without an artifact, so reload accepts no request-supplied paths", ErrPathOutsideArtifactDir)
+	}
+	dir, err := filepath.Abs(filepath.Dir(s.cfg.ModelPath))
+	if err != nil {
+		return err
+	}
+	if resolved, err := filepath.EvalSymlinks(dir); err == nil {
+		dir = resolved
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return err
+	}
+	if resolved, err := filepath.EvalSymlinks(abs); err == nil {
+		abs = resolved
+	}
+	if filepath.Dir(abs) != dir {
+		return fmt.Errorf("%w: %q is not in %q", ErrPathOutsideArtifactDir, path, dir)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package learnrisk
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// leipzigFixture returns the committed tiny DBLP-Scholar-shaped fixture in
+// the published Leipzig layout (header rows + perfect mapping).
+func leipzigFixture() (left, right, mapping string) {
+	dir := filepath.Join("testdata", "leipzig")
+	return filepath.Join(dir, "DBLP-small.csv"),
+		filepath.Join(dir, "Scholar-small.csv"),
+		filepath.Join(dir, "mapping-small.csv")
+}
+
+// TestLoadLeipzigEndToEnd runs the entire pipeline — load, train, evaluate,
+// serve — on the committed fixture, the offline stand-in for the real
+// benchmark downloads.
+func TestLoadLeipzigEndToEnd(t *testing.T) {
+	left, right, mapping := leipzigFixture()
+	w, err := LoadLeipzig("dblp-scholar", left, right, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Matches() != 25 {
+		t.Errorf("matches = %d, want 25 (the mapping file's pair count)", w.Matches())
+	}
+	if w.Attributes() != 4 {
+		t.Errorf("attributes = %d, want 4 (title, authors, venue, year)", w.Attributes())
+	}
+	if w.Size() <= 25 {
+		t.Errorf("size = %d: blocking added no non-match candidates", w.Size())
+	}
+
+	m, err := Train(context.Background(), w, Options{
+		RiskEpochs: 100, ClassifierEpochs: 10, Seed: 13,
+	})
+	if err != nil {
+		t.Fatalf("training on the Leipzig fixture: %v", err)
+	}
+	rep, err := m.Evaluate(w, m.TestPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ranking) == 0 {
+		t.Fatal("empty ranking")
+	}
+	if rep.AUROC < 0 || rep.AUROC > 1 {
+		t.Errorf("AUROC %v out of range", rep.AUROC)
+	}
+
+	// The serving path works on the loaded benchmark's raw values.
+	l, r := w.PairValues(0)
+	s, err := m.Score(Pair{Left: l, Right: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Risk < 0 {
+		t.Errorf("negative risk %v", s.Risk)
+	}
+}
+
+// TestLoadLeipzigDeterministic: loading the same fixture twice yields the
+// same workload order (pair order feeds the seeded split, so load-order
+// nondeterminism would break run reproducibility).
+func TestLoadLeipzigDeterministic(t *testing.T) {
+	left, right, mapping := leipzigFixture()
+	a, err := LoadLeipzig("dblp-scholar", left, right, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadLeipzig("dblp-scholar", left, right, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	for i := 0; i < a.Size(); i++ {
+		al, ar := a.PairValues(i)
+		bl, br := b.PairValues(i)
+		for k := range al {
+			if al[k] != bl[k] || ar[k] != br[k] {
+				t.Fatalf("pair %d differs between loads", i)
+			}
+		}
+	}
+}

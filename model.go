@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"unicode/utf8"
 
@@ -317,16 +318,38 @@ func (m *Model) evaluateOn(w *Workload, idx []int, store *featstore.Store) (*Rep
 	return rep, nil
 }
 
-// checkPair validates a serving-path pair against the model's schema
+// ErrPairArity marks a serving-path pair whose value count does not match
+// the model's schema. Serving layers classify it with errors.Is (a client
+// error, not a server fault); every CheckPair failure wraps it.
+var ErrPairArity = errors.New("pair does not match the model schema arity")
+
+// CheckPair validates a serving-path pair against the model's schema
 // arity, so a truncated or misaligned record fails loudly instead of being
-// scored against empty-padded values.
-func (m *Model) checkPair(p Pair) error {
+// scored against empty-padded values. Serving front ends (internal/server)
+// use it to reject a bad request before it joins a batch, keeping one
+// malformed pair from failing the whole ScoreBatch call. Failures wrap
+// ErrPairArity.
+func (m *Model) CheckPair(p Pair) error {
 	if len(p.Left) != len(m.attrs) || len(p.Right) != len(m.attrs) {
-		return fmt.Errorf("learnrisk: pair has %d/%d attribute values, model schema has %d (%s...)",
-			len(p.Left), len(p.Right), len(m.attrs), m.attrs[0].Name)
+		return fmt.Errorf("learnrisk: pair has %d/%d attribute values, model schema has %d (%s...): %w",
+			len(p.Left), len(p.Right), len(m.attrs), m.attrs[0].Name, ErrPairArity)
 	}
 	return nil
 }
+
+// checkPair is the historical unexported spelling, kept so the scoring
+// paths read unchanged.
+func (m *Model) checkPair(p Pair) error { return m.CheckPair(p) }
+
+// Schema returns the attribute schema the model was trained on, as a fresh
+// copy (mutating it cannot corrupt the model). Serving endpoints report it
+// so clients know the order and arity of the values a Pair must carry.
+func (m *Model) Schema() []Attr { return append([]Attr(nil), m.attrs...) }
+
+// EnvelopeVersion returns the Save/Load envelope version this build reads
+// and writes. Serving endpoints report it next to the fingerprint so an
+// operator can tell which artifact generation a replica is running.
+func (m *Model) EnvelopeVersion() int { return modelVersion }
 
 // Score risk-scores one fresh candidate pair: the metric row is computed
 // under the model's catalog (the metrics.Prepared fast path), the
@@ -506,6 +529,18 @@ func Load(r io.Reader) (*Model, error) {
 		rset:    rset,
 		risk:    risk,
 	}, nil
+}
+
+// LoadFile is Load over a file path: it opens the artifact, restores the
+// model and closes the file. The hot-swap reload path of internal/server
+// uses it; anything with an io.Reader in hand should call Load directly.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: opening model artifact: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // short clips a fingerprint for error rendering.

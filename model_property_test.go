@@ -1,0 +1,236 @@
+package learnrisk
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// Property tests for the Save/Load envelope: any model the trainer can
+// produce must round-trip bit-identically, and any damaged envelope must
+// fail loudly with an error — never a panic, never a silently different
+// model.
+
+// fuzzedOptions draws a valid Options from the whole documented space.
+func fuzzedOptions(rng *rand.Rand) Options {
+	ratios := []string{"", "3:2:5", "2:2:6", "4:3:3"}
+	return Options{
+		SplitRatio:       ratios[rng.IntN(len(ratios))],
+		VaRConfidence:    0.75 + 0.2*rng.Float64(),
+		RuleDepth:        1 + rng.IntN(4),
+		RiskEpochs:       40 + rng.IntN(120),
+		ClassifierEpochs: 5 + rng.IntN(12),
+		Seed:             1 + rng.Uint64()%1000,
+	}
+}
+
+// fuzzedPair perturbs workload values into "fresh" serving pairs: values
+// are recombined across records and sometimes mutated or emptied, the
+// shapes real traffic shows a model.
+func fuzzedPair(rng *rand.Rand, w *Workload) Pair {
+	n := w.Size()
+	l, _ := w.PairValues(rng.IntN(n))
+	_, r := w.PairValues(rng.IntN(n))
+	mutate := func(vals []string) []string {
+		out := append([]string(nil), vals...)
+		for i := range out {
+			switch rng.IntN(6) {
+			case 0:
+				out[i] = ""
+			case 1:
+				out[i] = out[i] + " extra token"
+			case 2:
+				if len(out[i]) > 3 {
+					out[i] = out[i][:len(out[i])/2]
+				}
+			}
+		}
+		return out
+	}
+	return Pair{Left: mutate(l), Right: mutate(r)}
+}
+
+func TestSaveLoadPropertyRoundTrip(t *testing.T) {
+	profiles := []string{"DS", "AB"}
+	rng := rand.New(rand.NewPCG(99, 7))
+	for trial := 0; trial < 3; trial++ {
+		opts := fuzzedOptions(rng)
+		profile := profiles[trial%len(profiles)]
+		t.Run(fmt.Sprintf("%s/trial%d", profile, trial), func(t *testing.T) {
+			w, err := Generate(profile, 0.015, 100+uint64(trial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Train(context.Background(), w, opts)
+			if err != nil {
+				t.Fatalf("training with %+v: %v", opts, err)
+			}
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatalf("saving: %v", err)
+			}
+			loaded, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("loading: %v", err)
+			}
+			if loaded.Fingerprint() != m.Fingerprint() {
+				t.Fatalf("fingerprint drifted across round trip")
+			}
+			if loaded.EnvelopeVersion() != m.EnvelopeVersion() {
+				t.Fatalf("envelope version drifted")
+			}
+
+			// Score parity on random raw pairs, single and batched.
+			var pairs []Pair
+			for i := 0; i < 40; i++ {
+				pairs = append(pairs, fuzzedPair(rng, w))
+			}
+			for i, p := range pairs {
+				want, err1 := m.Score(p)
+				got, err2 := loaded.Score(p)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("pair %d: error parity broke: %v vs %v", i, err1, err2)
+				}
+				if got != want {
+					t.Fatalf("pair %d: loaded score %+v != original %+v", i, got, want)
+				}
+			}
+			wantB, err := m.ScoreBatch(pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotB, err := loaded.ScoreBatch(pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantB {
+				if gotB[i] != wantB[i] {
+					t.Fatalf("batch pair %d: loaded %+v != original %+v", i, gotB[i], wantB[i])
+				}
+			}
+
+			// A second round trip is byte-identical: Save(Load(Save(m)))
+			// has no drift anywhere.
+			var buf2 bytes.Buffer
+			if err := loaded.Save(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("second Save differs from first: the envelope is lossy somewhere")
+			}
+		})
+	}
+}
+
+// savedEnvelope trains one small model and returns its envelope bytes,
+// cached across corruption subtests.
+func savedEnvelope(t *testing.T) []byte {
+	t.Helper()
+	_, m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadTruncatedEnvelope(t *testing.T) {
+	env := savedEnvelope(t)
+	// Every truncation point must produce an error, not a panic and not a
+	// silently short-changed model.
+	for _, frac := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.999} {
+		n := int(frac * float64(len(env)))
+		_, err := Load(bytes.NewReader(env[:n]))
+		if err == nil {
+			t.Errorf("truncation to %d/%d bytes loaded successfully", n, len(env))
+		} else if !strings.Contains(err.Error(), "learnrisk:") {
+			t.Errorf("truncation to %d bytes: error %q is not a learnrisk-typed error", n, err)
+		}
+	}
+}
+
+func TestLoadFlippedBytesNeverPanic(t *testing.T) {
+	env := savedEnvelope(t)
+	rng := rand.New(rand.NewPCG(4, 2))
+	for trial := 0; trial < 200; trial++ {
+		corrupt := append([]byte(nil), env...)
+		// Flip 1-4 random bytes anywhere in the envelope.
+		for k := 0; k <= rng.IntN(4); k++ {
+			corrupt[rng.IntN(len(corrupt))] ^= byte(1 + rng.IntN(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Load panicked on corrupted envelope: %v", trial, r)
+				}
+			}()
+			m, err := Load(bytes.NewReader(corrupt))
+			// A flip inside a free-text field can legitimately survive; a
+			// loaded model must at least still serve without panicking.
+			if err == nil && m == nil {
+				t.Fatalf("trial %d: no error and no model", trial)
+			}
+		}()
+	}
+}
+
+// corruptField re-marshals the envelope with one top-level field replaced,
+// keeping everything else intact.
+func corruptField(t *testing.T, env []byte, field string, value any) []byte {
+	t.Helper()
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(env, &doc); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc[field] = raw
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestLoadRejectsDamagedEnvelopeFields(t *testing.T) {
+	env := savedEnvelope(t)
+	cases := []struct {
+		name    string
+		field   string
+		value   any
+		wantSub string
+	}{
+		{"future version", "version", 99, "unsupported model version"},
+		{"zero version", "version", 0, "unsupported model version"},
+		{"no attrs", "attrs", []Attr{}, "no schema attributes"},
+		{"unknown attr type", "attrs", []Attr{{Name: "title", Type: "blob"}}, "unknown attribute type"},
+		{"wrong corpora count", "corpora", []any{}, "corpora"},
+		{"forged fingerprint", "fingerprint", strings.Repeat("ab", 32), "fingerprint mismatch"},
+		{"null risk", "risk", nil, "risk model"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load(bytes.NewReader(corruptField(t, env, c.field, c.value)))
+			if err == nil {
+				t.Fatalf("damaged %q loaded successfully", c.field)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not name the damage (want substring %q)", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/model.json"); err == nil {
+		t.Fatal("missing file should fail")
+	} else if !strings.Contains(err.Error(), "learnrisk:") {
+		t.Fatalf("error %q is not learnrisk-typed", err)
+	}
+}
