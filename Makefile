@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples build-cmds vet test race cover tier1 bench bench-baseline bench-serve
+.PHONY: build build-examples build-cmds vet fmtcheck test race cover allocs tier1 bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ build-cmds:
 
 vet:
 	$(GO) vet ./...
+
+# fmtcheck fails loudly on unformatted files (gofmt is not enforced by any
+# other target, and unformatted files turn every editor save into noise).
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	  echo "fmtcheck: FAIL — gofmt needed on:"; echo "$$out"; exit 1; \
+	fi; echo "fmtcheck: ok"
 
 test:
 	$(GO) test ./...
@@ -52,8 +59,16 @@ cover:
 	  echo "cover: $$pkg $$pct% (floor $$floor%)"; \
 	done
 
+# allocs runs the allocation-regression guards explicitly: steady-state
+# Model.Score and the rules/featstore/metrics scratch paths are pinned to
+# 0 allocs/op, ScoreBatch to a small per-call bound (model_alloc_test.go).
+# They also run as part of `make test`; this target is the fast loop while
+# working on the hot path.
+allocs:
+	$(GO) test -run 'Alloc' . ./internal/rules/ ./internal/featstore/ ./internal/metrics/ ./internal/nn/
+
 # tier1 is the verification gate every PR must keep green (ROADMAP.md).
-tier1: build build-examples build-cmds vet test race cover
+tier1: build build-examples build-cmds vet fmtcheck test race cover allocs
 
 # bench refreshes the "current" section of BENCH_PR1.json with this
 # machine's numbers; bench-baseline records the pre-change numbers before
@@ -68,3 +83,14 @@ bench-baseline:
 # micro-batcher (greedy and lingering). See PERFORMANCE.md.
 bench-serve:
 	$(GO) test -run '^$$' -bench BenchmarkServe -benchmem ./internal/server
+
+# bench-pr4 refreshes the "current" section of BENCH_PR4.json — the
+# score-time hot path (Score, ScoreBatch, ExplainPair, blocking);
+# bench-pr4-baseline records the pre-change numbers before a perf PR
+# touching that path. Compare the two sections for the before/after.
+SERVE_BENCHES = 'ServeScore|ServeScoreBatch|ServeExplainPair|ServeBlocking'
+bench-pr4:
+	$(GO) run ./cmd/bench -out BENCH_PR4.json -label current -bench $(SERVE_BENCHES) -benchtime 3s
+
+bench-pr4-baseline:
+	$(GO) run ./cmd/bench -out BENCH_PR4.json -label baseline -bench $(SERVE_BENCHES) -benchtime 3s

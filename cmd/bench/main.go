@@ -8,6 +8,10 @@
 //
 //	go run ./cmd/bench -out BENCH_PR1.json -label current
 //	go run ./cmd/bench -parse saved-bench-output.txt -label baseline
+//	go run ./cmd/bench -out BENCH_PR4.json -bench 'Serve' -cpuprofile cpu.prof -memprofile mem.prof
+//
+// -cpuprofile/-memprofile pass straight through to go test, so a recorded
+// section and the profile that explains it come from the same run.
 //
 // The output file holds one section per label (e.g. "baseline" captured
 // before a change and "current" after); writing a label replaces that
@@ -49,6 +53,8 @@ func main() {
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	benchRE := flag.String("bench", ".", "go test -bench pattern")
 	parse := flag.String("parse", "", "parse an existing `go test -bench` output file instead of running the suite")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file (passed to go test)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the bench run to this file (passed to go test)")
 	flag.Parse()
 
 	var raw []byte
@@ -61,8 +67,16 @@ func main() {
 		}
 		flags = "(parsed from " + *parse + ")"
 	} else {
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *benchRE,
-			"-benchmem", "-benchtime", *benchtime, "-count", "1", "-timeout", "3600s", ".")
+		args := []string{"test", "-run", "^$", "-bench", *benchRE,
+			"-benchmem", "-benchtime", *benchtime, "-count", "1", "-timeout", "3600s"}
+		if *cpuprofile != "" {
+			args = append(args, "-cpuprofile", *cpuprofile)
+		}
+		if *memprofile != "" {
+			args = append(args, "-memprofile", *memprofile)
+		}
+		args = append(args, ".")
+		cmd := exec.Command("go", args...)
 		cmd.Stderr = os.Stderr
 		var buf bytes.Buffer
 		cmd.Stdout = &buf

@@ -22,15 +22,23 @@
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
 // finish (bounded by -shutdown-timeout), then the micro-batcher stops.
+//
+// -pprof localhost:6060 starts a second, debug-only listener exposing
+// /debug/pprof (CPU/heap/goroutine profiles) and /debug/vars (expvar
+// counters: batcher flushes, batched pairs, mean/max flush size, queue
+// depth, served pairs, model swaps). Keep it bound to localhost — it is
+// intentionally separate from the client-facing listener.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (the -pprof listener)
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +57,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "seed for startup training")
 		maxBatch    = flag.Int("max-batch", 64, "micro-batcher flush size (1 disables coalescing)")
 		maxLinger   = flag.Duration("max-linger", 2*time.Millisecond, "micro-batcher linger before an under-full batch flushes (0 = greedy)")
+		pprofAddr   = flag.String("pprof", "", "optional debug listener address (e.g. localhost:6060) exposing /debug/pprof and /debug/vars; empty disables it")
 		readTimeout = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO      = flag.Duration("idle-timeout", 60*time.Second, "HTTP idle timeout")
@@ -69,6 +78,20 @@ func main() {
 		ModelPath: *modelPath,
 	})
 	defer srv.Close()
+
+	publishDebugVars(srv)
+	if *pprofAddr != "" {
+		// The debug listener is separate from the serving listener on
+		// purpose: profiling and introspection endpoints never share a
+		// port (or timeouts) with client traffic. DefaultServeMux carries
+		// /debug/pprof (net/http/pprof import) and /debug/vars (expvar).
+		go func() {
+			log.Printf("debug listener on %s (/debug/pprof, /debug/vars)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
@@ -100,6 +123,32 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	log.Printf("served %d pairs across %d hot-swaps; bye", srv.Served(), srv.Swaps())
+}
+
+// publishDebugVars exports the micro-batcher's coalescing counters and the
+// serving totals as expvars (GET /debug/vars on the -pprof listener):
+// flush count, pairs ridden through flushes, mean/max flush size, current
+// queue depth, pairs served and model hot-swaps.
+func publishDebugVars(srv *server.Server) {
+	expvar.Publish("batcher_flushes", expvar.Func(func() any {
+		flushes, _ := srv.BatchStats()
+		return flushes
+	}))
+	expvar.Publish("batcher_batched_pairs", expvar.Func(func() any {
+		_, pairs := srv.BatchStats()
+		return pairs
+	}))
+	expvar.Publish("batcher_mean_flush", expvar.Func(func() any {
+		flushes, pairs := srv.BatchStats()
+		if flushes == 0 {
+			return 0.0
+		}
+		return float64(pairs) / float64(flushes)
+	}))
+	expvar.Publish("batcher_max_flush", expvar.Func(func() any { return srv.MaxFlush() }))
+	expvar.Publish("batcher_queue_depth", expvar.Func(func() any { return srv.QueueDepth() }))
+	expvar.Publish("served_pairs", expvar.Func(func() any { return srv.Served() }))
+	expvar.Publish("model_swaps", expvar.Func(func() any { return srv.Swaps() }))
 }
 
 // obtainModel loads the artifact at path, or trains a fresh model on a

@@ -6,9 +6,11 @@
 package blocking
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/strutil"
 )
 
@@ -45,61 +47,259 @@ func (c Config) withDefaults(arity int) Config {
 // blocking: records sharing at least MinSharedTokens blocking tokens are
 // paired. Ground truth is filled from the records' EntityIDs. Pairs are
 // returned in deterministic (left, right) order.
+//
+// The implementation is an inverted token index over the right table with
+// flat per-worker counter arrays over the left scan — shared-token counts
+// live in an int32 array indexed by right-record id, invalidated between
+// left records by an epoch stamp instead of a clear (or a fresh map). The
+// historical map[[2]int]int of shared counts made large bring-your-own-
+// table workloads hash-bound; the counter arrays make the scan a posting-
+// list walk bounded by memory bandwidth. Output pairs and order are
+// exactly the map implementation's (the property test in blocking_test.go
+// keeps the old implementation as the oracle).
 func Candidates(left, right *dataset.Table, cfg Config) []dataset.Pair {
 	cfg = cfg.withDefaults(len(left.Schema.Attrs))
 
-	index := make(map[string][]int) // token -> right record indices
-	for ri, r := range right.Records {
-		for tok := range blockingTokens(r, cfg.Attrs) {
-			index[tok] = append(index[tok], ri)
-		}
-	}
-
-	counts := make(map[[2]int]int)
-	for li, l := range left.Records {
-		for tok := range blockingTokens(l, cfg.Attrs) {
-			block := index[tok]
-			if cfg.MaxBlockSize > 0 && len(block) > cfg.MaxBlockSize {
-				continue
-			}
-			for _, ri := range block {
-				counts[[2]int{li, ri}]++
-			}
-		}
-	}
-
-	pairs := make([]dataset.Pair, 0, len(counts))
-	for key, n := range counts {
-		if n < cfg.MinSharedTokens {
-			continue
-		}
-		li, ri := key[0], key[1]
-		match := left.Records[li].EntityID != "" &&
-			left.Records[li].EntityID == right.Records[ri].EntityID
-		pairs = append(pairs, dataset.Pair{Left: li, Right: ri, Match: match})
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].Left != pairs[j].Left {
-			return pairs[i].Left < pairs[j].Left
-		}
-		return pairs[i].Right < pairs[j].Right
+	// Phase 1 — parallel chunk-local inverted indexes over the right
+	// table: each worker tokenizes its records through a reusable
+	// normalization buffer and interns tokens to dense chunk-local ids.
+	nRight := len(right.Records)
+	rChunks := par.NumChunks(nRight, blockChunk)
+	locals := make([]chunkIndex, rChunks)
+	par.ForChunks(nRight, blockChunk, func(c, lo, hi int) {
+		locals[c] = buildChunkIndex(right.Records[lo:hi], int32(lo), cfg.Attrs)
 	})
+
+	// Phase 2 — deterministic merge into the global index: one flat
+	// posting arena with prefix-sum offsets (no per-token slice headers).
+	// Chunks in ascending order keep every posting list in ascending
+	// right-record order, exactly as a serial scan would produce.
+	gids := make(map[string]int32)
+	var cnt []int32
+	remaps := make([][]int32, len(locals))
+	for c := range locals {
+		remap := make([]int32, len(locals[c].toks))
+		for lid, tok := range locals[c].toks {
+			gid, ok := gids[tok]
+			if !ok {
+				gid = int32(len(cnt))
+				gids[tok] = gid
+				cnt = append(cnt, 0)
+			}
+			remap[lid] = gid
+		}
+		for _, lid := range locals[c].ids {
+			cnt[remap[lid]]++
+		}
+		remaps[c] = remap
+	}
+	postOff := make([]int32, len(cnt)+1)
+	for i, n := range cnt {
+		postOff[i+1] = postOff[i] + n
+	}
+	postArena := make([]int32, postOff[len(cnt)])
+	next := append([]int32(nil), postOff[:len(cnt)]...)
+	for c := range locals {
+		ci := &locals[c]
+		remap := remaps[c]
+		for k := 0; k+1 < len(ci.offs); k++ {
+			ri := ci.base + int32(k)
+			for _, lid := range ci.ids[ci.offs[k]:ci.offs[k+1]] {
+				gid := remap[lid]
+				postArena[next[gid]] = ri
+				next[gid]++
+			}
+		}
+	}
+	posting := func(gid int32) []int32 { return postArena[postOff[gid]:postOff[gid+1]] }
+	nTokens := len(cnt)
+	locals, remaps = nil, nil
+
+	// Phase 3 — parallel left scan with flat per-worker counter arrays:
+	// counts[ri] is valid only when stamp[ri] carries the current left
+	// record's epoch, so the nRight-sized arrays are never cleared between
+	// records; per-pair state is two int32 array cells, not a map entry.
+	// The arrays are pooled per worker, not allocated per chunk: a worker
+	// draining many chunks of a large table keeps one scratch, with the
+	// epoch running on across chunks.
+	scratchPool := sync.Pool{New: func() any {
+		return &scanScratch{
+			counts:  make([]int32, nRight),
+			stamp:   make([]int32, nRight),
+			tokSeen: make([]int32, nTokens),
+			touched: make([]int32, 0, 512),
+		}
+	}}
+	nLeft := len(left.Records)
+	lChunks := par.NumChunks(nLeft, blockChunk)
+	perChunk := make([][]dataset.Pair, lChunks)
+	par.ForChunks(nLeft, blockChunk, func(c, lo, hi int) {
+		ss := scratchPool.Get().(*scanScratch)
+		counts, stamp, tokSeen := ss.counts, ss.stamp, ss.tokSeen
+		touched := ss.touched
+		ts := &ss.ts
+		var out []dataset.Pair
+		for li := lo; li < hi; li++ {
+			epoch := ss.nextEpoch()
+			touched = touched[:0]
+			ts.tokenize(left.Records[li], cfg.Attrs)
+			for _, rg := range ts.ranges {
+				gid, ok := gids[string(ts.buf[rg[0]:rg[1]])] // alloc-free lookup
+				if !ok {
+					continue // token absent from the right table
+				}
+				if tokSeen[gid] == epoch {
+					continue // distinct-token semantics within a record
+				}
+				tokSeen[gid] = epoch
+				block := posting(gid)
+				if cfg.MaxBlockSize > 0 && len(block) > cfg.MaxBlockSize {
+					continue
+				}
+				for _, ri := range block {
+					if stamp[ri] != epoch {
+						stamp[ri] = epoch
+						counts[ri] = 1
+						touched = append(touched, ri)
+					} else {
+						counts[ri]++
+					}
+				}
+			}
+			slices.Sort(touched) // deterministic ascending right order
+			leftEnt := left.Records[li].EntityID
+			for _, ri := range touched {
+				if int(counts[ri]) < cfg.MinSharedTokens {
+					continue
+				}
+				match := leftEnt != "" && leftEnt == right.Records[ri].EntityID
+				out = append(out, dataset.Pair{Left: li, Right: int(ri), Match: match})
+			}
+		}
+		ss.touched = touched
+		scratchPool.Put(ss)
+		perChunk[c] = out
+	})
+
+	total := 0
+	for _, p := range perChunk {
+		total += len(p)
+	}
+	pairs := make([]dataset.Pair, 0, total)
+	for _, p := range perChunk {
+		pairs = append(pairs, p...)
+	}
 	return pairs
 }
 
-func blockingTokens(r dataset.Record, attrs []int) map[string]struct{} {
-	toks := make(map[string]struct{})
+// blockChunk is the record granularity of the parallel phases: large
+// enough to amortize the per-worker scratch, small enough to load-balance
+// skewed tables.
+const blockChunk = 256
+
+// scanScratch is one left-scan worker's reusable state: the epoch-stamped
+// counter arrays over the right table, the per-record distinct-token
+// stamps, the touched list and the tokenizer buffer.
+type scanScratch struct {
+	counts  []int32
+	stamp   []int32
+	tokSeen []int32
+	touched []int32
+	ts      tokenScratch
+	epoch   int32
+}
+
+// nextEpoch advances the scratch's epoch, clearing the stamp arrays on the
+// (practically unreachable) int32 wrap so stale stamps can never collide.
+func (ss *scanScratch) nextEpoch() int32 {
+	ss.epoch++
+	if ss.epoch == 0 { // wrapped
+		clear(ss.stamp)
+		clear(ss.tokSeen)
+		ss.epoch = 1
+	}
+	return ss.epoch
+}
+
+// tokenScratch tokenizes one record at a time into token byte ranges over
+// a reusable normalization buffer — no per-record slices, no per-token
+// strings.
+type tokenScratch struct {
+	buf    []byte
+	ranges [][2]int32
+}
+
+// tokenize fills the scratch with the record's blocking tokens (length
+// >= 2 bytes, the single-character filter of the historical map
+// implementation). Tokens never span attribute values.
+func (ts *tokenScratch) tokenize(r dataset.Record, attrs []int) {
+	ts.buf = ts.buf[:0]
+	ts.ranges = ts.ranges[:0]
 	for _, a := range attrs {
 		if a >= len(r.Values) {
 			continue
 		}
-		for _, t := range strutil.Tokens(r.Values[a]) {
-			if len(t) >= 2 { // single characters block everything
-				toks[t] = struct{}{}
+		start := len(ts.buf)
+		ts.buf = strutil.AppendNormalized(ts.buf, r.Values[a])
+		bs := -1
+		for i := start; i < len(ts.buf); i++ {
+			if ts.buf[i] == ' ' {
+				if bs >= 0 {
+					if i-bs >= 2 {
+						ts.ranges = append(ts.ranges, [2]int32{int32(bs), int32(i)})
+					}
+					bs = -1
+				}
+			} else if bs < 0 {
+				bs = i
 			}
 		}
+		if bs >= 0 && len(ts.buf)-bs >= 2 {
+			ts.ranges = append(ts.ranges, [2]int32{int32(bs), int32(len(ts.buf))})
+		}
 	}
-	return toks
+}
+
+// chunkIndex is one worker's tokenization of its right-table chunk:
+// interned token strings and the flat stream of each record's distinct
+// token ids (ids[offs[k]:offs[k+1]] for chunk-local record k). The merge
+// phase turns the streams into the global posting arena.
+type chunkIndex struct {
+	base int32
+	toks []string
+	ids  []int32
+	offs []int32
+}
+
+// buildChunkIndex tokenizes records (global ids base..base+len-1),
+// deduplicating tokens within each record.
+func buildChunkIndex(records []dataset.Record, base int32, attrs []int) chunkIndex {
+	ci := chunkIndex{base: base, offs: make([]int32, 1, len(records)+1)}
+	ids := make(map[string]int32)
+	var seen []int32 // per local token id, epoch stamp for in-record dedup
+	var ts tokenScratch
+	for k := range records {
+		epoch := int32(k + 1)
+		ts.tokenize(records[k], attrs)
+		for _, rg := range ts.ranges {
+			tok := ts.buf[rg[0]:rg[1]]
+			id, ok := ids[string(tok)] // alloc-free lookup
+			if !ok {
+				s := string(tok) // one allocation per distinct token per chunk
+				id = int32(len(ci.toks))
+				ids[s] = id
+				ci.toks = append(ci.toks, s)
+				seen = append(seen, 0)
+			}
+			if seen[id] == epoch {
+				continue
+			}
+			seen[id] = epoch
+			ci.ids = append(ci.ids, id)
+		}
+		ci.offs = append(ci.offs, int32(len(ci.ids)))
+	}
+	return ci
 }
 
 // Recall returns the fraction of true matches (by EntityID) that survive

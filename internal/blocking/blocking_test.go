@@ -1,11 +1,16 @@
 package blocking
 
 import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/strutil"
 )
 
 func twoTables() (*dataset.Table, *dataset.Table) {
@@ -112,5 +117,142 @@ func TestRecallNoEntities(t *testing.T) {
 	right := &dataset.Table{Schema: schema, Records: []dataset.Record{{ID: "b", Values: []string{"x"}}}}
 	if r := Recall(left, right, nil); r != 1 {
 		t.Errorf("Recall without ground truth = %f, want vacuous 1", r)
+	}
+}
+
+// oracleCandidates is the historical map-based implementation
+// (map[[2]int]int shared-token counts plus a final sort), kept verbatim as
+// the oracle for the inverted-index rewrite.
+func oracleCandidates(left, right *dataset.Table, cfg Config) []dataset.Pair {
+	cfg = cfg.withDefaults(len(left.Schema.Attrs))
+
+	index := make(map[string][]int)
+	for ri, r := range right.Records {
+		for tok := range oracleTokens(r, cfg.Attrs) {
+			index[tok] = append(index[tok], ri)
+		}
+	}
+	counts := make(map[[2]int]int)
+	for li, l := range left.Records {
+		for tok := range oracleTokens(l, cfg.Attrs) {
+			block := index[tok]
+			if cfg.MaxBlockSize > 0 && len(block) > cfg.MaxBlockSize {
+				continue
+			}
+			for _, ri := range block {
+				counts[[2]int{li, ri}]++
+			}
+		}
+	}
+	pairs := make([]dataset.Pair, 0, len(counts))
+	for key, n := range counts {
+		if n < cfg.MinSharedTokens {
+			continue
+		}
+		li, ri := key[0], key[1]
+		match := left.Records[li].EntityID != "" &&
+			left.Records[li].EntityID == right.Records[ri].EntityID
+		pairs = append(pairs, dataset.Pair{Left: li, Right: ri, Match: match})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Left != pairs[j].Left {
+			return pairs[i].Left < pairs[j].Left
+		}
+		return pairs[i].Right < pairs[j].Right
+	})
+	return pairs
+}
+
+func oracleTokens(r dataset.Record, attrs []int) map[string]struct{} {
+	toks := make(map[string]struct{})
+	for _, a := range attrs {
+		if a >= len(r.Values) {
+			continue
+		}
+		for _, t := range strutil.Tokens(r.Values[a]) {
+			if len(t) >= 2 {
+				toks[t] = struct{}{}
+			}
+		}
+	}
+	return toks
+}
+
+// randomTable builds a fuzzed table: records drawing tokens from a small
+// shared vocabulary (forcing block collisions and shared-token counts > 1),
+// with occasional short rows, empty values and missing entity ids.
+func randomTable(rng *rand.Rand, name string, schema *dataset.Schema, n int) *dataset.Table {
+	vocab := []string{
+		"spatial", "join", "query", "optimization", "survey", "deep",
+		"learning", "risk", "entity", "résolution", "x", "db", "07",
+	}
+	t := &dataset.Table{Name: name, Schema: schema}
+	for i := 0; i < n; i++ {
+		rec := dataset.Record{ID: fmt.Sprintf("%s%d", name, i)}
+		if rng.Intn(4) > 0 {
+			rec.EntityID = fmt.Sprintf("e%d", rng.Intn(n))
+		}
+		vals := rng.Intn(len(schema.Attrs) + 1) // may be short
+		for a := 0; a < vals; a++ {
+			var b strings.Builder
+			for w := rng.Intn(6); w >= 0; w-- {
+				b.WriteString(vocab[rng.Intn(len(vocab))])
+				b.WriteByte(' ')
+			}
+			rec.Values = append(rec.Values, b.String())
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t
+}
+
+// TestCandidatesMatchesOracle is the rewrite's equivalence property: exact
+// pair set AND order of the historical map-based implementation across
+// fuzzed tables and configs (worker-forced parallel chunks included via
+// table sizes above blockChunk).
+func TestCandidatesMatchesOracle(t *testing.T) {
+	schema := &dataset.Schema{Name: "s", Attrs: []dataset.Attr{
+		{Name: "title", Type: metrics.Text},
+		{Name: "venue", Type: metrics.EntityName},
+		{Name: "year", Type: metrics.Numeric},
+	}}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		nl, nr := 1+rng.Intn(80), 1+rng.Intn(80)
+		if trial == 0 {
+			nl, nr = 400, 300 // cross the blockChunk boundary at least once
+		}
+		left := randomTable(rng, "L", schema, nl)
+		right := randomTable(rng, "R", schema, nr)
+		cfg := Config{
+			MinSharedTokens: 1 + rng.Intn(3),
+			MaxBlockSize:    []int{-1, 2, 5, 200}[rng.Intn(4)],
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Attrs = []int{rng.Intn(3)}
+		}
+		want := oracleCandidates(left, right, cfg)
+		got := Candidates(left, right, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pairs, oracle %d (cfg %+v)", trial, len(got), len(want), cfg)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d pair %d: got %+v, oracle %+v (cfg %+v)", trial, i, got[i], want[i], cfg)
+			}
+		}
+	}
+}
+
+// TestCandidatesEmptyTables pins the degenerate shapes.
+func TestCandidatesEmptyTables(t *testing.T) {
+	schema := &dataset.Schema{Name: "s", Attrs: []dataset.Attr{{Name: "a", Type: metrics.Text}}}
+	empty := &dataset.Table{Name: "E", Schema: schema}
+	l, r := twoTables()
+	if got := Candidates(empty, r, Config{}); len(got) != 0 {
+		t.Fatalf("empty left: %d pairs", len(got))
+	}
+	if got := Candidates(l, empty, Config{}); len(got) != 0 {
+		t.Fatalf("empty right: %d pairs", len(got))
 	}
 }

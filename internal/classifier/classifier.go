@@ -135,15 +135,40 @@ func newMatcher(cat *metrics.Catalog, cfg Config) (*Matcher, error) {
 // and applies the [0,1] squash — the exact vector FeatureVector computes
 // from raw values. The result is freshly allocated.
 func (m *Matcher) InputFromRow(row []float64) []float64 {
-	out := make([]float64, len(m.viewCols))
+	return m.InputFromRowInto(make([]float64, len(m.viewCols)), row)
+}
+
+// InputFromRowInto is InputFromRow into a caller-provided destination of
+// length len(viewCols) — the allocation-free form the serving scratch uses.
+func (m *Matcher) InputFromRowInto(dst []float64, row []float64) []float64 {
 	for j, c := range m.viewCols {
 		v := row[c]
 		if v > 1 {
 			v = v / (1 + v)
 		}
-		out[j] = v
+		dst[j] = v
 	}
-	return out
+	return dst
+}
+
+// ProbScratch holds the reusable buffers of allocation-free classifier
+// inference: the view-projected input vector and the network's activation
+// buffers. One ProbScratch serves one goroutine at a time.
+type ProbScratch struct {
+	in  []float64
+	fwd *nn.FwdScratch
+}
+
+// NewProbScratch sizes a scratch for this matcher. It requires a trained
+// (or restored) matcher.
+func (m *Matcher) NewProbScratch() *ProbScratch {
+	return &ProbScratch{in: make([]float64, len(m.viewCols)), fwd: m.net.NewFwdScratch()}
+}
+
+// ProbRowScratch is ProbRow through a reusable scratch: zero heap
+// allocations in steady state, bit-identical to ProbRow.
+func (m *Matcher) ProbRowScratch(row []float64, s *ProbScratch) float64 {
+	return m.net.PredictScratch(m.InputFromRowInto(s.in, row), s.fwd)
 }
 
 // fit trains the matcher's network on prepared inputs. The positive class

@@ -252,7 +252,7 @@ func (m *Model) Assess(inst Instance) Assessment {
 		a.Risk = m.surrogate(f, inst.Label)
 		return a
 	}
-	tn, err := stats.NewTruncNormal(f.mu, f.sigma, 0, 1)
+	tn, err := stats.MakeTruncNormal(f.mu, f.sigma, 0, 1)
 	if err != nil {
 		// Unreachable: [0,1] is never empty. Fall back to the surrogate.
 		a.Risk = m.surrogate(f, inst.Label)
@@ -299,7 +299,7 @@ func (m *Model) riskCached(inst Instance, pc *paramCache) float64 {
 	if m.cfg.UntruncatedInference {
 		return m.surrogate(f, inst.Label)
 	}
-	tn, err := stats.NewTruncNormal(f.mu, f.sigma, 0, 1)
+	tn, err := stats.MakeTruncNormal(f.mu, f.sigma, 0, 1)
 	if err != nil {
 		// Unreachable: [0,1] is never empty. Fall back to the surrogate.
 		return m.surrogate(f, inst.Label)

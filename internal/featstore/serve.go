@@ -24,6 +24,90 @@ func ComputeRow(cat *metrics.Catalog, left, right []string) []float64 {
 	return cat.Compute(left, right)
 }
 
+// ServeScratch is the reusable working state of one serving worker: a pair
+// of reusable prepared-attribute rows (metrics.NewReusable, reset per
+// pair with exactly the derived forms the catalog's metrics read), the
+// per-metric DP scratch, and a one-pair side cache. With a ServeScratch,
+// ComputeRowAppend computes metric rows with zero heap allocations in
+// steady state.
+//
+// A ServeScratch is bound to the catalog it was built for and is owned by
+// one goroutine at a time (the facade pools them). The side cache retains
+// references to the most recent pair's value slices.
+type ServeScratch struct {
+	needs        []metrics.Need
+	pa, pb       []*metrics.Prepared
+	ms           metrics.Scratch
+	lastL, lastR []string
+}
+
+// NewServeScratch builds a ServeScratch for the catalog.
+func NewServeScratch(cat *metrics.Catalog) *ServeScratch {
+	n := cat.NumAttrs()
+	s := &ServeScratch{
+		needs: cat.AttrNeeds(),
+		pa:    make([]*metrics.Prepared, n),
+		pb:    make([]*metrics.Prepared, n),
+	}
+	for i := 0; i < n; i++ {
+		s.pa[i] = metrics.NewReusable()
+		s.pb[i] = metrics.NewReusable()
+	}
+	return s
+}
+
+// resetSide re-points one side's reusable prepared row at new raw values,
+// skipping the work entirely when the values are identical to the side's
+// previous pair (the "one query against K candidates" serving shape, and
+// consecutive batch pairs sharing a record). last retains the value slice
+// contents for that comparison.
+func (s *ServeScratch) resetSide(prep []*metrics.Prepared, last *[]string, vals []string) {
+	if sameValues(*last, vals) {
+		return
+	}
+	for i, p := range prep {
+		if i < len(vals) {
+			p.Reset(vals[i], s.needs[i])
+		} else {
+			p.Reset("", s.needs[i])
+		}
+	}
+	*last = append((*last)[:0], vals...)
+}
+
+func sameValues(a, b []string) bool {
+	if a == nil || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeRowAppend is the append-into variant of ComputeRow: it appends the
+// pair's full-catalog metric row to dst and returns the extended slice,
+// computing every derived value through the scratch's reusable buffers.
+// The row values are bit-identical to ComputeRow's. Steady state (buffers
+// grown, dst capacity sufficient) performs zero heap allocations.
+func ComputeRowAppend(cat *metrics.Catalog, dst []float64, left, right []string, s *ServeScratch) []float64 {
+	s.resetSide(s.pa, &s.lastL, left)
+	s.resetSide(s.pb, &s.lastR, right)
+	base := len(dst)
+	w := len(cat.Metrics)
+	if cap(dst) >= base+w {
+		dst = dst[:base+w]
+	} else {
+		grown := make([]float64, base+w, 2*(base+w))
+		copy(grown, dst)
+		dst = grown
+	}
+	cat.ComputePreparedInto(dst[base:], s.pa, s.pb, &s.ms)
+	return dst
+}
+
 // ComputeRows computes the metric rows of a batch of raw pairs in parallel.
 // Like the workload store, it memoizes value preparation across the batch:
 // a record that appears in many pairs (one query against K candidates, the
@@ -81,7 +165,7 @@ func ComputeRows(cat *metrics.Catalog, pairs []RawPair) [][]float64 {
 	out := make([][]float64, len(pairs))
 	par.For(len(pairs), func(i int) {
 		dst := backing[i*width : (i+1)*width : (i+1)*width]
-		cat.ComputePreparedInto(dst, prepared[leftIdx[i]], prepared[rightIdx[i]])
+		cat.ComputePreparedInto(dst, prepared[leftIdx[i]], prepared[rightIdx[i]], nil)
 		out[i] = dst
 	})
 	return out

@@ -186,10 +186,11 @@ func (s *Store) ensureChunk(i int) {
 }
 
 // fill computes pair i's metric row into the (already allocated) backing
-// chunk.
+// chunk. The nil scratch keeps per-row metric buffers local to the call
+// (the parallel fill shares nothing across workers).
 func (s *Store) fill(i int) {
 	p := s.w.Pairs[i]
-	s.cat.ComputePreparedInto(s.view(i), s.prepL[p.Left], s.prepR[p.Right])
+	s.cat.ComputePreparedInto(s.view(i), s.prepL[p.Left], s.prepR[p.Right], nil)
 }
 
 // view returns the slice header for pair i's row (capacity-clipped so

@@ -56,13 +56,14 @@ func (k Kind) String() string {
 // carries corpus statistics for TF-IDF and key-token decisions. PFn, when
 // non-nil, is the equivalent computation over Prepared values — the fast
 // path used by Catalog.Compute and the feature store; it must return
-// bit-identical results to Fn.
+// bit-identical results to Fn. The *Scratch passed to PFn provides the
+// DP/flag buffers of the string cores; metrics that need none ignore it.
 type Metric struct {
 	Name  string // e.g. "title.cosine_tfidf" or "year.diff"
 	Attr  int    // attribute index in the schema
 	Kind  Kind   // similarity or difference
 	Fn    func(a, b string, c *Corpus) float64
-	PFn   func(a, b *Prepared, c *Corpus) float64
+	PFn   func(a, b *Prepared, c *Corpus, s *Scratch) float64
 	Needs Need // derived forms PFn reads (NeedAll when unset and PFn != nil)
 }
 
@@ -72,8 +73,8 @@ func lift(f func(a, b string) float64) func(string, string, *Corpus) float64 {
 }
 
 // pliftP adapts a corpus-free prepared metric to the catalog signature.
-func pliftP(f func(a, b *Prepared) float64) func(*Prepared, *Prepared, *Corpus) float64 {
-	return func(a, b *Prepared, _ *Corpus) float64 { return f(a, b) }
+func pliftP(f func(a, b *Prepared, s *Scratch) float64) func(*Prepared, *Prepared, *Corpus, *Scratch) float64 {
+	return func(a, b *Prepared, _ *Corpus, s *Scratch) float64 { return f(a, b, s) }
 }
 
 // ForAttribute returns the basic metrics appropriate for one attribute of
@@ -83,7 +84,7 @@ func pliftP(f func(a, b *Prepared) float64) func(*Prepared, *Prepared, *Corpus) 
 // text gets diff-key-token, numerics get the year/number difference.
 func ForAttribute(name string, idx int, t AttrType) []Metric {
 	mk := func(suffix string, k Kind, f func(string, string, *Corpus) float64,
-		pf func(*Prepared, *Prepared, *Corpus) float64, needs Need) Metric {
+		pf func(*Prepared, *Prepared, *Corpus, *Scratch) float64, needs Need) Metric {
 		return Metric{Name: name + "." + suffix, Attr: idx, Kind: k, Fn: f, PFn: pf, Needs: needs}
 	}
 	switch t {
@@ -125,8 +126,8 @@ func ForAttribute(name string, idx int, t AttrType) []Metric {
 					return 1
 				}
 				return 0
-			}), pliftP(func(a, b *Prepared) float64 {
-				if nonSubstringP(a, b) == 0 {
+			}), pliftP(func(a, b *Prepared, s *Scratch) float64 {
+				if nonSubstringP(a, b, s) == 0 {
 					return 1
 				}
 				return 0
@@ -141,14 +142,15 @@ func ForAttribute(name string, idx int, t AttrType) []Metric {
 // YearDiffOrExact is 1 when the values differ either numerically or as
 // normalized strings (used for categorical attributes).
 func YearDiffOrExact(a, b string) float64 {
-	return yearDiffOrExactP(Prepare(a), Prepare(b))
+	var s Scratch
+	return yearDiffOrExactP(Prepare(a), Prepare(b), &s)
 }
 
-func yearDiffOrExactP(pa, pb *Prepared) float64 {
-	if d := yearDiffP(pa, pb); d == 1 {
+func yearDiffOrExactP(pa, pb *Prepared, s *Scratch) float64 {
+	if d := yearDiffP(pa, pb, s); d == 1 {
 		return 1
 	}
-	if editSimilarityP(pa, pb) < 1 {
+	if editSimilarityP(pa, pb, s) < 1 {
 		return 1
 	}
 	return 0
@@ -220,13 +222,14 @@ func (c *Catalog) Compute(a, b []string) []float64 {
 	out := make([]float64, len(c.Metrics))
 	pa := make([]*Prepared, c.NumAttrs())
 	pb := make([]*Prepared, c.NumAttrs())
+	var s Scratch
 	for i, m := range c.Metrics {
 		var corpus *Corpus
 		if m.Attr < len(c.Corpora) {
 			corpus = c.Corpora[m.Attr]
 		}
 		if m.PFn != nil {
-			out[i] = m.PFn(rowPrepared(pa, a, m.Attr), rowPrepared(pb, b, m.Attr), corpus)
+			out[i] = m.PFn(rowPrepared(pa, a, m.Attr), rowPrepared(pb, b, m.Attr), corpus, &s)
 			continue
 		}
 		var va, vb string
@@ -255,15 +258,19 @@ func rowPrepared(cache []*Prepared, vals []string, attr int) *Prepared {
 
 // ComputePreparedInto evaluates every metric into dst (len(c.Metrics)) given
 // already-prepared attribute rows (as produced by PrepareRow). The prepared
-// values must be materialized if the call happens concurrently.
-func (c *Catalog) ComputePreparedInto(dst []float64, pa, pb []*Prepared) {
+// values must be materialized if the call happens concurrently. s provides
+// the per-worker metric scratch; nil allocates a fresh one for the call.
+func (c *Catalog) ComputePreparedInto(dst []float64, pa, pb []*Prepared, s *Scratch) {
+	if s == nil {
+		s = &Scratch{}
+	}
 	for i, m := range c.Metrics {
 		var corpus *Corpus
 		if m.Attr < len(c.Corpora) {
 			corpus = c.Corpora[m.Attr]
 		}
 		if m.PFn != nil {
-			dst[i] = m.PFn(pa[m.Attr], pb[m.Attr], corpus)
+			dst[i] = m.PFn(pa[m.Attr], pb[m.Attr], corpus, s)
 			continue
 		}
 		dst[i] = m.Fn(pa[m.Attr].Raw(), pb[m.Attr].Raw(), corpus)

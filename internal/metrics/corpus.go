@@ -14,7 +14,9 @@ import (
 type Corpus struct {
 	docs     int
 	df       map[string]int
-	keyIDF   float64 // IDF threshold above which a token is "key"
+	idf      map[string]float64 // precomputed IDF per known token
+	unkIDF   float64            // IDF of an unknown token (df = 0)
+	keyIDF   float64            // IDF threshold above which a token is "key"
 	maxIDF   float64
 	keyQuant float64 // quantile used to derive keyIDF, kept for String()
 }
@@ -35,8 +37,21 @@ func NewCorpus(values []string, keyQuantile float64) *Corpus {
 		}
 	}
 	c.maxIDF = math.Log(float64(c.docs + 1)) // df=0 ceiling
+	c.precomputeIDF()
 	c.deriveKeyIDF()
 	return c
+}
+
+// precomputeIDF materializes the IDF of every known token (and the unknown
+// ceiling) once, so the per-token hot-path lookup is one map access with no
+// math.Log. Values come from the exact same expression IDF historically
+// evaluated per call, so they are bit-identical.
+func (c *Corpus) precomputeIDF() {
+	c.unkIDF = math.Log(float64(c.docs+1)) + 1
+	c.idf = make(map[string]float64, len(c.df))
+	for t, df := range c.df {
+		c.idf[t] = math.Log(float64(c.docs+1)/float64(df+1)) + 1
+	}
 }
 
 // deriveKeyIDF computes the key-token IDF threshold from the document
@@ -65,8 +80,10 @@ func (c *Corpus) Docs() int { return c.docs }
 // IDF returns the smoothed inverse document frequency
 // log((N+1)/(df+1)) + 1 of the token. Unknown tokens get the maximum IDF.
 func (c *Corpus) IDF(token string) float64 {
-	df := c.df[token]
-	return math.Log(float64(c.docs+1)/float64(df+1)) + 1
+	if v, ok := c.idf[token]; ok {
+		return v
+	}
+	return c.unkIDF
 }
 
 // IsKeyToken reports whether the token is discriminating: its IDF meets the

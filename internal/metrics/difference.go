@@ -18,10 +18,10 @@ import (
 // value is a substring of the other. Missing values are treated as
 // uninformative (0).
 func NonSubstring(a, b string) float64 {
-	return nonSubstringP(Prepare(a), Prepare(b))
+	return nonSubstringP(Prepare(a), Prepare(b), nil)
 }
 
-func nonSubstringP(pa, pb *Prepared) float64 {
+func nonSubstringP(pa, pb *Prepared, _ *Scratch) float64 {
 	na, nb := pa.Norm(), pb.Norm()
 	if na == "" || nb == "" {
 		return 0
@@ -34,10 +34,10 @@ func nonSubstringP(pa, pb *Prepared) float64 {
 
 // NonPrefix is 1 if neither normalized value is a prefix of the other.
 func NonPrefix(a, b string) float64 {
-	return nonPrefixP(Prepare(a), Prepare(b))
+	return nonPrefixP(Prepare(a), Prepare(b), nil)
 }
 
-func nonPrefixP(pa, pb *Prepared) float64 {
+func nonPrefixP(pa, pb *Prepared, _ *Scratch) float64 {
 	na, nb := pa.Norm(), pb.Norm()
 	if na == "" || nb == "" {
 		return 0
@@ -50,10 +50,10 @@ func nonPrefixP(pa, pb *Prepared) float64 {
 
 // NonSuffix is 1 if neither normalized value is a suffix of the other.
 func NonSuffix(a, b string) float64 {
-	return nonSuffixP(Prepare(a), Prepare(b))
+	return nonSuffixP(Prepare(a), Prepare(b), nil)
 }
 
-func nonSuffixP(pa, pb *Prepared) float64 {
+func nonSuffixP(pa, pb *Prepared, _ *Scratch) float64 {
 	na, nb := pa.Norm(), pb.Norm()
 	if na == "" || nb == "" {
 		return 0
@@ -77,10 +77,10 @@ func abbrPair(a, b string) (string, string, bool) {
 // value is also not a substring of the other full value (covers
 // "VLDB" vs "Very Large Data Bases").
 func AbbrNonSubstring(a, b string) float64 {
-	return abbrNonSubstringP(Prepare(a), Prepare(b))
+	return abbrNonSubstringP(Prepare(a), Prepare(b), nil)
 }
 
-func abbrNonSubstringP(pa, pb *Prepared) float64 {
+func abbrNonSubstringP(pa, pb *Prepared, _ *Scratch) float64 {
 	aa, ab := pa.Abbr(), pb.Abbr()
 	if aa == "" || ab == "" {
 		return 0
@@ -123,10 +123,10 @@ func AbbrNonSuffix(a, b string) float64 {
 // DiffCardinality is the entity-set difference metric: 1 if the two sets
 // contain different numbers of entity names. Empty sets are uninformative.
 func DiffCardinality(a, b string) float64 {
-	return diffCardinalityP(Prepare(a), Prepare(b))
+	return diffCardinalityP(Prepare(a), Prepare(b), nil)
 }
 
-func diffCardinalityP(pa, pb *Prepared) float64 {
+func diffCardinalityP(pa, pb *Prepared, _ *Scratch) float64 {
 	ea, eb := pa.Entities(), pb.Entities()
 	if len(ea) == 0 || len(eb) == 0 {
 		return 0
@@ -143,25 +143,26 @@ func diffCardinalityP(pa, pb *Prepared) float64 {
 // initials and typos). This is the paper's distinct-entity metric from
 // Example 1.
 func DistinctEntity(a, b string) float64 {
-	return distinctEntityP(Prepare(a), Prepare(b))
+	var s Scratch
+	return distinctEntityP(Prepare(a), Prepare(b), &s)
 }
 
-func distinctEntityP(pa, pb *Prepared) float64 {
+func distinctEntityP(pa, pb *Prepared, s *Scratch) float64 {
 	if len(pa.Entities()) == 0 || len(pb.Entities()) == 0 {
 		return 0
 	}
 	distinct := 0
-	distinct += countUnmatchedP(pa, pb)
-	distinct += countUnmatchedP(pb, pa)
+	distinct += countUnmatchedP(pa, pb, s)
+	distinct += countUnmatchedP(pb, pa, s)
 	return float64(distinct)
 }
 
-func countUnmatchedP(from, against *Prepared) int {
+func countUnmatchedP(from, against *Prepared, s *Scratch) int {
 	n := 0
 	for i := range from.Entities() {
 		matched := false
 		for j := range against.Entities() {
-			if entityNamesMatchP(from, i, against, j) {
+			if entityNamesMatchP(from, i, against, j, s) {
 				matched = true
 				break
 			}
@@ -178,11 +179,11 @@ func countUnmatchedP(from, against *Prepared) int {
 // compatible initials ("t brinkhoff" vs "thomas brinkhoff"). Entity names
 // from SplitEntities are already normalized, so their cached runes are
 // exactly what JaroWinkler would derive.
-func entityNamesMatchP(pa *Prepared, i int, pb *Prepared, j int) bool {
+func entityNamesMatchP(pa *Prepared, i int, pb *Prepared, j int, s *Scratch) bool {
 	if pa.Entities()[i] == pb.Entities()[j] {
 		return true
 	}
-	if jaroWinklerRunes(pa.EntityRunes()[i], pb.EntityRunes()[j]) >= 0.9 {
+	if jaroWinklerRunes(pa.EntityRunes()[i], pb.EntityRunes()[j], s) >= 0.9 {
 		return true
 	}
 	ta, tb := pa.EntityFields()[i], pb.EntityFields()[j]
@@ -200,10 +201,10 @@ func entityNamesMatchP(pa *Prepared, i int, pb *Prepared, j int) bool {
 // attributes: 1 if both values parse as numbers and differ, 0 otherwise.
 // It realizes the paper's running-example rule r_i[Year] != r_j[Year].
 func YearDiff(a, b string) float64 {
-	return yearDiffP(Prepare(a), Prepare(b))
+	return yearDiffP(Prepare(a), Prepare(b), nil)
 }
 
-func yearDiffP(pa, pb *Prepared) float64 {
+func yearDiffP(pa, pb *Prepared, _ *Scratch) float64 {
 	x, okA := pa.Num()
 	y, okB := pb.Num()
 	if !okA || !okB {
@@ -218,10 +219,10 @@ func yearDiffP(pa, pb *Prepared) float64 {
 // NumericGap returns the relative numeric gap |x-y|/max(|x|,|y|) in [0,1];
 // 0 when either value is unparseable (uninformative) or both are zero.
 func NumericGap(a, b string) float64 {
-	return numericGapP(Prepare(a), Prepare(b))
+	return numericGapP(Prepare(a), Prepare(b), nil)
 }
 
-func numericGapP(pa, pb *Prepared) float64 {
+func numericGapP(pa, pb *Prepared, _ *Scratch) float64 {
 	x, okA := pa.Num()
 	y, okB := pb.Num()
 	if !okA || !okB {
@@ -244,10 +245,10 @@ func numericGapP(pa, pb *Prepared) float64 {
 // token of length ≥ 4 counts as key. This is the paper's diff-key-token
 // metric for text-description attributes.
 func DiffKeyToken(a, b string, c *Corpus) float64 {
-	return diffKeyTokenP(Prepare(a), Prepare(b), c)
+	return diffKeyTokenP(Prepare(a), Prepare(b), c, nil)
 }
 
-func diffKeyTokenP(pa, pb *Prepared, c *Corpus) float64 {
+func diffKeyTokenP(pa, pb *Prepared, c *Corpus, _ *Scratch) float64 {
 	sa, sb := pa.TokenSet(), pb.TokenSet()
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0

@@ -58,6 +58,11 @@ type Prepared struct {
 	num    float64
 	numOK  bool
 	hasNum bool
+
+	// scratch, when non-nil, marks a reusable Prepared built by
+	// NewReusable: Reset recomputes the derived forms into the scratch's
+	// growable buffers (see reuse.go for the aliasing contract).
+	scratch *reuseState
 }
 
 // Need is a bitmask of the derived forms a metric consumes; catalogs

@@ -47,12 +47,12 @@ func TestPreparedMatchesStringPath(t *testing.T) {
 			for _, a := range messyValues {
 				for _, b := range messyValues {
 					want := m.Fn(a, b, c)
-					got := m.PFn(Prepare(a), Prepare(b), c)
+					got := m.PFn(Prepare(a), Prepare(b), c, &Scratch{})
 					if want != got {
 						t.Fatalf("%s(%q, %q) prepared=%v reference=%v", m.Name, a, b, got, want)
 					}
 					// Materialized values must agree too (the store path).
-					got = m.PFn(Prepare(a).Materialize(), Prepare(b).Materialize(), c)
+					got = m.PFn(Prepare(a).Materialize(), Prepare(b).Materialize(), c, &Scratch{})
 					if want != got {
 						t.Fatalf("%s(%q, %q) materialized=%v reference=%v", m.Name, a, b, got, want)
 					}
@@ -69,7 +69,7 @@ func TestPreparedMatchesStringPathQuick(t *testing.T) {
 	f := func(a, b string) bool {
 		pa, pb := Prepare(a), Prepare(b)
 		for _, m := range ms {
-			if m.Fn(a, b, nil) != m.PFn(pa, pb, nil) {
+			if m.Fn(a, b, nil) != m.PFn(pa, pb, nil, &Scratch{}) {
 				return false
 			}
 		}
@@ -114,7 +114,7 @@ func TestComputeUsesSharedPreparation(t *testing.T) {
 		pa[i].Materialize()
 		pb[i].Materialize()
 	}
-	cat.ComputePreparedInto(dst, pa, pb)
+	cat.ComputePreparedInto(dst, pa, pb, nil)
 	for i := range dst {
 		if dst[i] != got[i] {
 			t.Errorf("ComputePreparedInto[%d] = %v, want %v", i, dst[i], got[i])

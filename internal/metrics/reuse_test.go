@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// resetAll resets a reusable Prepared with every derived form materialized.
+func resetAll(p *Prepared, raw string) *Prepared {
+	p.Reset(raw, NeedAll)
+	return p
+}
+
+// TestReusableMatchesFreshPrepare pins the reuse contract: a reusable
+// Prepared that has been Reset (possibly after serving other values —
+// buffer reuse must leave no residue) produces bit-identical metric values
+// to a fresh, fully materialized Prepare on every catalog metric.
+func TestReusableMatchesFreshPrepare(t *testing.T) {
+	corpus := NewCorpus(messyValues, 0.5)
+	ra, rb := NewReusable(), NewReusable()
+	var s Scratch
+	for _, m := range allCatalogMetrics() {
+		for _, c := range []*Corpus{nil, corpus} {
+			for _, a := range messyValues {
+				for _, b := range messyValues {
+					// Pollute the buffers with the opposite value first, so
+					// a stale-state bug cannot hide.
+					resetAll(ra, b)
+					resetAll(rb, a)
+					want := m.PFn(Prepare(a).Materialize(), Prepare(b).Materialize(), c, &Scratch{})
+					got := m.PFn(resetAll(ra, a), resetAll(rb, b), c, &s)
+					if want != got {
+						t.Fatalf("%s(%q, %q) reusable=%v fresh=%v", m.Name, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReusableMatchesFreshPrepareQuick property-tests the same equivalence
+// on arbitrary (including non-ASCII and non-UTF-8) string pairs.
+func TestReusableMatchesFreshPrepareQuick(t *testing.T) {
+	ms := allCatalogMetrics()
+	ra, rb := NewReusable(), NewReusable()
+	var s Scratch
+	f := func(a, b string) bool {
+		resetAll(ra, b) // pollute
+		resetAll(rb, a)
+		resetAll(ra, a)
+		resetAll(rb, b)
+		for _, m := range ms {
+			if m.PFn(Prepare(a).Materialize(), Prepare(b).Materialize(), nil, &Scratch{}) != m.PFn(ra, rb, nil, &s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReusableNeedsSubset checks that a Reset materializing only the forms
+// a catalog actually needs still answers every requested accessor
+// correctly (the serving path resets with Catalog.AttrNeeds masks, not
+// NeedAll).
+func TestReusableNeedsSubset(t *testing.T) {
+	p := NewReusable()
+	p.Reset("Very Large Data Bases; V. L. D. B. and friends, 1975", NeedTokens|NeedAbbr|NeedNum)
+	want := Prepare(p.Raw())
+	if got, w := p.Abbr(), want.Abbr(); got != w {
+		t.Fatalf("Abbr = %q, want %q", got, w)
+	}
+	if len(p.Tokens()) != len(want.Tokens()) {
+		t.Fatalf("Tokens = %v, want %v", p.Tokens(), want.Tokens())
+	}
+	if _, ok := p.Num(); ok {
+		t.Fatal("value should not parse as a number")
+	}
+}
+
+// TestResetPanicsOnNonReusable pins the loud failure mode.
+func TestResetPanicsOnNonReusable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset on Prepare()d value should panic")
+		}
+	}()
+	Prepare("x").Reset("y", NeedAll)
+}
+
+// TestResetSteadyStateAllocs pins the zero-allocation contract of the
+// reusable Prepared itself: once the buffers have grown to the workload's
+// value sizes, Reset with the full needs mask allocates nothing.
+func TestResetSteadyStateAllocs(t *testing.T) {
+	p := NewReusable()
+	vals := []string{
+		"Very Large Data Bases, 1975 — authors: A. Smith; B. Jones and C. D. Lee",
+		"$1,234.56 proceedings of the 41st conference (volume II)",
+		"wild ünïcødé ∂ata with Tokens; and entities, everywhere 2020",
+	}
+	for _, v := range vals { // warm the buffers
+		p.Reset(v, NeedAll)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		for _, v := range vals {
+			p.Reset(v, NeedAll)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Reset allocates %v times per cycle, want 0", n)
+	}
+}
+
+// TestParseNumberReuseMatchesParseNumber pins accept/reject and value
+// equality of the allocation-free number parse against the reference.
+func TestParseNumberReuseMatchesParseNumber(t *testing.T) {
+	cases := []string{
+		"", "42", " 42 ", "-1.5", "+.5", "5.", "1e5", "1.5E-3", "£1,234.56",
+		"$99", "€0", "abc", "nan", "INF", "-infinity", "1..2", "1e", "1e+",
+		"0x1p-2", "1_000", "fate", "and", "1990", "vol. 3", "½",
+	}
+	st := &reuseState{}
+	for _, c := range cases {
+		wantV, wantErr := parseNumber(c)
+		gotV, gotOK := parseNumberReuse(c, st)
+		if (wantErr == nil) != gotOK {
+			t.Fatalf("parseNumberReuse(%q) ok=%v, reference err=%v", c, gotOK, wantErr)
+		}
+		if gotOK && wantV != gotV && !(math.IsNaN(wantV) && math.IsNaN(gotV)) {
+			t.Fatalf("parseNumberReuse(%q) = %v, reference %v", c, gotV, wantV)
+		}
+	}
+	f := func(s string) bool {
+		wantV, wantErr := parseNumber(s)
+		gotV, gotOK := parseNumberReuse(s, st)
+		return (wantErr == nil) == gotOK &&
+			(!gotOK || wantV == gotV || (math.IsNaN(wantV) && math.IsNaN(gotV)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

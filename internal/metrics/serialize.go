@@ -42,6 +42,7 @@ func RestoreCorpus(s CorpusSnapshot) *Corpus {
 		c.df[t] = n
 	}
 	c.maxIDF = math.Log(float64(c.docs + 1))
+	c.precomputeIDF()
 	c.deriveKeyIDF()
 	return c
 }

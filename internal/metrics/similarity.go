@@ -28,52 +28,24 @@ import (
 // Levenshtein returns the edit distance between the normalized forms of a
 // and b, in rune operations (insert, delete, substitute).
 func Levenshtein(a, b string) int {
-	return levenshteinRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+	var s Scratch
+	return levenshteinRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)), &s)
 }
 
-func levenshteinRunes(ra, rb []rune) int {
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
+// levenshteinRunes dispatches to the register-blocked DP (bitlcs.go),
+// which produces the exact classic-DP distance.
+func levenshteinRunes(ra, rb []rune, s *Scratch) int {
+	return levenshteinLen(ra, rb, s)
 }
 
 // EditSimilarity returns 1 - Levenshtein(a,b)/max(len(a),len(b)), a
 // similarity in [0,1]. Two empty values are maximally similar.
 func EditSimilarity(a, b string) float64 {
-	return editSimilarityP(Prepare(a), Prepare(b))
+	var s Scratch
+	return editSimilarityP(Prepare(a), Prepare(b), &s)
 }
 
-func editSimilarityP(pa, pb *Prepared) float64 {
+func editSimilarityP(pa, pb *Prepared, s *Scratch) float64 {
 	ra, rb := pa.Runes(), pb.Runes()
 	m := len(ra)
 	if len(rb) > m {
@@ -82,15 +54,16 @@ func editSimilarityP(pa, pb *Prepared) float64 {
 	if m == 0 {
 		return 1
 	}
-	return 1 - float64(levenshteinRunes(ra, rb))/float64(m)
+	return 1 - float64(levenshteinRunes(ra, rb, s))/float64(m)
 }
 
 // Jaro returns the Jaro similarity of the normalized values, in [0,1].
 func Jaro(a, b string) float64 {
-	return jaroRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+	var s Scratch
+	return jaroRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)), &s)
 }
 
-func jaroRunes(ra, rb []rune) float64 {
+func jaroRunes(ra, rb []rune, s *Scratch) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -106,8 +79,7 @@ func jaroRunes(ra, rb []rune) float64 {
 	if window < 0 {
 		window = 0
 	}
-	matchedA := make([]bool, la)
-	matchedB := make([]bool, lb)
+	matchedA, matchedB := s.bools2(la, lb)
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := i - window
@@ -152,15 +124,16 @@ func jaroRunes(ra, rb []rune) float64 {
 // JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
 // scale of 0.1 and a maximum rewarded prefix of 4 runes.
 func JaroWinkler(a, b string) float64 {
-	return jaroWinklerRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+	var s Scratch
+	return jaroWinklerRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)), &s)
 }
 
-func jaroWinklerP(pa, pb *Prepared) float64 {
-	return jaroWinklerRunes(pa.Runes(), pb.Runes())
+func jaroWinklerP(pa, pb *Prepared, s *Scratch) float64 {
+	return jaroWinklerRunes(pa.Runes(), pb.Runes(), s)
 }
 
-func jaroWinklerRunes(ra, rb []rune) float64 {
-	j := jaroRunes(ra, rb)
+func jaroWinklerRunes(ra, rb []rune, s *Scratch) float64 {
+	j := jaroRunes(ra, rb, s)
 	p := 0
 	for p < len(ra) && p < len(rb) && ra[p] == rb[p] {
 		p++
@@ -174,10 +147,10 @@ func jaroWinklerRunes(ra, rb []rune) float64 {
 // JaccardTokens returns the Jaccard index of the token sets of a and b.
 // Two empty token sets are maximally similar.
 func JaccardTokens(a, b string) float64 {
-	return jaccardTokensP(Prepare(a), Prepare(b))
+	return jaccardTokensP(Prepare(a), Prepare(b), nil)
 }
 
-func jaccardTokensP(pa, pb *Prepared) float64 {
+func jaccardTokensP(pa, pb *Prepared, _ *Scratch) float64 {
 	return jaccardSets(pa.TokenSet(), pb.TokenSet())
 }
 
@@ -185,10 +158,10 @@ func jaccardTokensP(pa, pb *Prepared) float64 {
 // entity-set values such as author lists (the paper's entity-based
 // JaccardIndex in Example 1).
 func JaccardEntities(a, b string) float64 {
-	return jaccardEntitiesP(Prepare(a), Prepare(b))
+	return jaccardEntitiesP(Prepare(a), Prepare(b), nil)
 }
 
-func jaccardEntitiesP(pa, pb *Prepared) float64 {
+func jaccardEntitiesP(pa, pb *Prepared, _ *Scratch) float64 {
 	return jaccardSets(pa.EntitySet(), pb.EntitySet())
 }
 
@@ -212,10 +185,10 @@ func jaccardSets(sa, sb map[string]struct{}) float64 {
 // OverlapTokens returns |A∩B| / min(|A|,|B|) over token sets (the overlap
 // coefficient). Empty-vs-empty is 1; empty-vs-nonempty is 0.
 func OverlapTokens(a, b string) float64 {
-	return overlapTokensP(Prepare(a), Prepare(b))
+	return overlapTokensP(Prepare(a), Prepare(b), nil)
 }
 
-func overlapTokensP(pa, pb *Prepared) float64 {
+func overlapTokensP(pa, pb *Prepared, _ *Scratch) float64 {
 	sa, sb := pa.TokenSet(), pb.TokenSet()
 	if len(sa) == 0 && len(sb) == 0 {
 		return 1
@@ -252,14 +225,15 @@ func QGramJaccard(a, b string) float64 {
 // LCS returns the length of the longest common subsequence of the normalized
 // values, normalized by the length of the longer value, yielding [0,1].
 func LCS(a, b string) float64 {
-	return lcsRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)))
+	var s Scratch
+	return lcsRunes([]rune(strutil.Normalize(a)), []rune(strutil.Normalize(b)), &s)
 }
 
-func lcsP(pa, pb *Prepared) float64 {
-	return lcsRunes(pa.Runes(), pb.Runes())
+func lcsP(pa, pb *Prepared, s *Scratch) float64 {
+	return lcsRunes(pa.Runes(), pb.Runes(), s)
 }
 
-func lcsRunes(ra, rb []rune) float64 {
+func lcsRunes(ra, rb []rune, s *Scratch) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -267,41 +241,37 @@ func lcsRunes(ra, rb []rune) float64 {
 	if la == 0 || lb == 0 {
 		return 0
 	}
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
-	for i := 1; i <= la; i++ {
-		for j := 1; j <= lb; j++ {
-			if ra[i-1] == rb[j-1] {
-				cur[j] = prev[j-1] + 1
-			} else if prev[j] >= cur[j-1] {
-				cur[j] = prev[j]
-			} else {
-				cur[j] = cur[j-1]
-			}
-		}
-		prev, cur = cur, prev
-		for k := range cur {
-			cur[k] = 0
-		}
+	// The shorter side becomes the bit dimension; below the cutoff the
+	// register DP wins. Both compute the exact DP cell values.
+	var l int
+	pat, text := ra, rb
+	if len(pat) > len(text) {
+		pat, text = text, pat
+	}
+	if len(pat) >= bitLCSMin {
+		l = lcsLenBits(pat, text, s)
+	} else {
+		l = lcsLenDP(ra, rb, s)
 	}
 	m := la
 	if lb > m {
 		m = lb
 	}
-	return float64(prev[lb]) / float64(m)
+	return float64(l) / float64(m)
 }
 
 // MongeElkan returns the Monge-Elkan similarity: the average over tokens of a
 // of the best Jaro-Winkler match against tokens of b. Asymmetric by
 // definition; SymMongeElkan averages both directions.
 func MongeElkan(a, b string) float64 {
-	return mongeElkanP(Prepare(a), Prepare(b))
+	var s Scratch
+	return mongeElkanP(Prepare(a), Prepare(b), &s)
 }
 
 // mongeElkanP relies on tokens being normalization fixed points (a token is
 // a run of lowercase letters/digits, so Normalize(token) == token), which
 // lets the inner Jaro-Winkler run on the cached token runes directly.
-func mongeElkanP(pa, pb *Prepared) float64 {
+func mongeElkanP(pa, pb *Prepared, s *Scratch) float64 {
 	ta, tb := pa.TokenRunes(), pb.TokenRunes()
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
@@ -313,8 +283,8 @@ func mongeElkanP(pa, pb *Prepared) float64 {
 	for _, x := range ta {
 		best := 0.0
 		for _, y := range tb {
-			if s := jaroWinklerRunes(x, y); s > best {
-				best = s
+			if jw := jaroWinklerRunes(x, y, s); jw > best {
+				best = jw
 			}
 		}
 		sum += best
@@ -324,22 +294,22 @@ func mongeElkanP(pa, pb *Prepared) float64 {
 
 // SymMongeElkan is the symmetric mean of MongeElkan in both directions.
 func SymMongeElkan(a, b string) float64 {
-	pa, pb := Prepare(a), Prepare(b)
-	return symMongeElkanP(pa, pb)
+	var s Scratch
+	return symMongeElkanP(Prepare(a), Prepare(b), &s)
 }
 
-func symMongeElkanP(pa, pb *Prepared) float64 {
-	return (mongeElkanP(pa, pb) + mongeElkanP(pb, pa)) / 2
+func symMongeElkanP(pa, pb *Prepared, s *Scratch) float64 {
+	return (mongeElkanP(pa, pb, s) + mongeElkanP(pb, pa, s)) / 2
 }
 
 // NumericSimilarity parses a and b as numbers and returns
 // 1 - |x-y|/max(|x|,|y|), clamped to [0,1]. Unparseable or absent values
 // yield 0 unless both are absent (1: vacuously equal).
 func NumericSimilarity(a, b string) float64 {
-	return numericSimilarityP(Prepare(a), Prepare(b))
+	return numericSimilarityP(Prepare(a), Prepare(b), nil)
 }
 
-func numericSimilarityP(pa, pb *Prepared) float64 {
+func numericSimilarityP(pa, pb *Prepared, _ *Scratch) float64 {
 	x, okA := pa.Num()
 	y, okB := pb.Num()
 	if !okA && !okB {
@@ -376,10 +346,10 @@ func parseNumber(s string) (float64, error) {
 // vectors of a and b under the supplied corpus statistics. A nil corpus
 // degrades to uniform IDF (plain cosine).
 func CosineTFIDF(a, b string, c *Corpus) float64 {
-	return cosineTFIDFP(Prepare(a), Prepare(b), c)
+	return cosineTFIDFP(Prepare(a), Prepare(b), c, nil)
 }
 
-func cosineTFIDFP(pa, pb *Prepared, c *Corpus) float64 {
+func cosineTFIDFP(pa, pb *Prepared, c *Corpus, _ *Scratch) float64 {
 	ca, cb := pa.TokenCounts(), pb.TokenCounts()
 	if len(ca) == 0 && len(cb) == 0 {
 		return 1

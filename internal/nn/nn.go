@@ -181,6 +181,42 @@ func (n *Network) Predict(x []float64) float64 {
 	return acts[len(acts)-1][0]
 }
 
+// FwdScratch holds the per-layer activation buffers of allocation-free
+// inference. One FwdScratch serves one goroutine at a time; build it with
+// NewFwdScratch and reuse it across any number of PredictScratch calls.
+type FwdScratch struct {
+	acts [][]float64
+}
+
+// NewFwdScratch sizes a forward-pass scratch for this network.
+func (n *Network) NewFwdScratch() *FwdScratch {
+	s := &FwdScratch{acts: make([][]float64, len(n.layers))}
+	for i, l := range n.layers {
+		s.acts[i] = make([]float64, l.Out)
+	}
+	return s
+}
+
+// PredictScratch is Predict over caller-provided activation buffers: the
+// same loop and float operations as forward, with zero heap allocations.
+// Results are bit-identical to Predict.
+func (n *Network) PredictScratch(x []float64, s *FwdScratch) float64 {
+	cur := x
+	for li, l := range n.layers {
+		out := s.acts[li]
+		for o := 0; o < l.Out; o++ {
+			v := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, xi := range cur {
+				v += row[i] * xi
+			}
+			out[o] = l.Act.apply(v)
+		}
+		cur = out
+	}
+	return cur[0]
+}
+
 // PredictBatch returns probabilities for each row of xs.
 func (n *Network) PredictBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))

@@ -297,3 +297,47 @@ func TestGradientMatchesFiniteDifference(t *testing.T) {
 		t.Errorf("analytic grad %g vs numeric %g", gradW[0][0], numeric)
 	}
 }
+
+// TestPredictScratchMatchesPredict pins the allocation-free inference path
+// against the reference forward pass, and its zero-allocation contract.
+func TestPredictScratchMatchesPredict(t *testing.T) {
+	net, err := New(Config{Inputs: 7, Hidden: []int{16, 8}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.NewFwdScratch()
+	rng := func(i, j int) float64 { return math.Sin(float64(i*31 + j)) }
+	xs := make([][]float64, 50)
+	for i := range xs {
+		xs[i] = make([]float64, 7)
+		for j := range xs[i] {
+			xs[i][j] = rng(i, j)
+		}
+	}
+	for i, x := range xs {
+		if got, want := net.PredictScratch(x, s), net.Predict(x); got != want {
+			t.Fatalf("input %d: PredictScratch=%v Predict=%v", i, got, want)
+		}
+	}
+}
+
+// TestPredictScratchSteadyStateAllocs pins the scratch inference path to
+// zero allocations (part of `make allocs`).
+func TestPredictScratchSteadyStateAllocs(t *testing.T) {
+	net, err := New(Config{Inputs: 7, Hidden: []int{16, 8}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.NewFwdScratch()
+	x := make([]float64, 7)
+	for j := range x {
+		x[j] = math.Sin(float64(j))
+	}
+	net.PredictScratch(x, s) // warm
+	allocs := testing.AllocsPerRun(200, func() {
+		net.PredictScratch(x, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictScratch allocates %v/op, want 0", allocs)
+	}
+}

@@ -131,11 +131,10 @@ func (c *RuleSet) Width() int { return c.width }
 // Rules returns the underlying rules (shared, not copied).
 func (c *RuleSet) Rules() []Rule { return c.rules }
 
-// firedRow computes the satisfied-predicate counts of one row into the
-// scratch (len NumRules, zeroed on entry and re-zeroed before return is the
-// caller's concern — fireInto zeroes it) and appends the firing rule ids in
-// ascending order to dst.
-func (c *RuleSet) fireInto(x []float64, counts []int32, dst []int32) []int32 {
+// countInto computes the satisfied-predicate count of every rule on one
+// row into counts (len NumRules; zeroed here). It is the shared core of
+// the append-form fireInto and the bitset-form ApplyRowBitset.
+func (c *RuleSet) countInto(x []float64, counts []int32) {
 	for i := range counts {
 		counts[i] = 0
 	}
@@ -159,6 +158,12 @@ func (c *RuleSet) fireInto(x []float64, counts []int32, dst []int32) []int32 {
 			counts[r]++
 		}
 	}
+}
+
+// fireInto computes the firing set of one row, appending the firing rule
+// ids in ascending order to dst. counts is caller scratch of len NumRules.
+func (c *RuleSet) fireInto(x []float64, counts []int32, dst []int32) []int32 {
+	c.countInto(x, counts)
 	for r := range c.npred {
 		if counts[r] == c.npred[r] {
 			dst = append(dst, int32(r))
@@ -171,27 +176,73 @@ func (c *RuleSet) gtHolding(g *colGroup, hi int) []int32 {
 	return g.gtPost[:g.gtOff[hi]]
 }
 
-// ApplyRow evaluates the set on a single metric row and returns the indices
-// of the firing rules in ascending order (nil when none fire, matching
-// Apply's per-row contract). Scratch is allocated per call, so ApplyRow is
-// safe for concurrent use from any number of goroutines — it is the serving
-// path's per-pair evaluation. The result is identical to Apply's row entry.
-// A row narrower than the compiled width violates the width invariant and
-// panics loudly rather than firing on garbage.
-func (c *RuleSet) ApplyRow(x []float64) []int {
+// RowScratch is the reusable per-worker state of single-row rule
+// evaluation: the satisfied-predicate counts and the rule-firing bitset
+// ApplyRowBitset writes into. One RowScratch serves one goroutine at a
+// time; the serving facade pools one per scoring worker.
+type RowScratch struct {
+	counts []int32
+	bits   []uint64 // bit r set = rule r fires on the last evaluated row
+}
+
+// NewRowScratch sizes a scratch for this rule set.
+func (c *RuleSet) NewRowScratch() *RowScratch {
+	return &RowScratch{
+		counts: make([]int32, len(c.rules)),
+		bits:   make([]uint64, (len(c.rules)+63)/64),
+	}
+}
+
+// Bits exposes the scratch's firing bitset (valid until the next
+// ApplyRowBitset call on the scratch).
+func (s *RowScratch) Bits() []uint64 { return s.bits }
+
+// AppendFired appends the firing rule indices of the last ApplyRowBitset
+// call to dst in ascending order — exactly ApplyRow's result — with zero
+// allocations once dst has capacity.
+func (s *RowScratch) AppendFired(dst []int) []int {
+	for w, m := range s.bits {
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			dst = append(dst, w*64+b)
+			m &^= 1 << b
+		}
+	}
+	return dst
+}
+
+// ApplyRowBitset evaluates the set on a single metric row, writing the
+// firing set into the caller-provided bitset of s (cleared first). It is
+// the zero-allocation core of ApplyRow: same width invariant, same firing
+// semantics, no per-call heap traffic. Decode the result with
+// s.AppendFired (ascending rule order) or read s.Bits directly.
+func (c *RuleSet) ApplyRowBitset(x []float64, s *RowScratch) {
 	if len(x) < c.width {
 		panic(fmt.Sprintf("rules: row width %d below compiled width %d (schema/rule mismatch)", len(x), c.width))
 	}
-	counts := make([]int32, len(c.rules))
-	scratch := c.fireInto(x, counts, nil)
-	if len(scratch) == 0 {
-		return nil
+	for i := range s.bits {
+		s.bits[i] = 0
 	}
-	row := make([]int, len(scratch))
-	for k, r := range scratch {
-		row[k] = int(r)
+	c.countInto(x, s.counts)
+	for r := range c.npred {
+		if s.counts[r] == c.npred[r] {
+			s.bits[r/64] |= 1 << (r % 64)
+		}
 	}
-	return row
+}
+
+// ApplyRow evaluates the set on a single metric row and returns the indices
+// of the firing rules in ascending order (nil when none fire, matching
+// Apply's per-row contract). Scratch is allocated per call, so ApplyRow is
+// safe for concurrent use from any number of goroutines; steady-state
+// serving goes through ApplyRowBitset with a pooled RowScratch instead,
+// which performs zero allocations. The result is identical to Apply's row
+// entry. A row narrower than the compiled width violates the width
+// invariant and panics loudly rather than firing on garbage.
+func (c *RuleSet) ApplyRow(x []float64) []int {
+	s := c.NewRowScratch()
+	c.ApplyRowBitset(x, s)
+	return s.AppendFired(nil)
 }
 
 // evalChunkSize is the row-chunk granularity of parallel evaluation; a

@@ -210,3 +210,77 @@ func TestDedupKeyAllocationFree(t *testing.T) {
 		t.Errorf("rule key allocates %v times per call, want 0", allocs)
 	}
 }
+
+// TestApplyRowBitsetMatchesApplyRow is the bitset path's equivalence
+// property: one pooled RowScratch serving many fuzzed rows reproduces
+// ApplyRow (and hence the naive reference) exactly, including NaN columns
+// and vacuous rules.
+func TestApplyRowBitsetMatchesApplyRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		width := 1 + rng.Intn(6)
+		rs := randomRules(rng, 1+rng.Intn(20), width)
+		X := randomMatrix(rng, 1+rng.Intn(200), width)
+		c, err := Compile(rs, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.NewRowScratch()
+		var fired []int
+		for i, x := range X {
+			want := c.ApplyRow(x)
+			c.ApplyRowBitset(x, s)
+			fired = s.AppendFired(fired[:0])
+			if len(fired) != len(want) {
+				t.Fatalf("trial %d row %d: bitset fired %v, ApplyRow %v", trial, i, fired, want)
+			}
+			for k := range want {
+				if fired[k] != want[k] {
+					t.Fatalf("trial %d row %d: bitset fired %v, ApplyRow %v", trial, i, fired, want)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyRowBitsetSteadyStateAllocs pins the serving path's rule
+// evaluation to zero allocations per row.
+func TestApplyRowBitsetSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rs := randomRules(rng, 40, 8)
+	X := randomMatrix(rng, 32, 8)
+	c, err := Compile(rs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.NewRowScratch()
+	fired := make([]int, 0, c.NumRules())
+	for _, x := range X { // warm
+		c.ApplyRowBitset(x, s)
+		fired = s.AppendFired(fired[:0])
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, x := range X {
+			c.ApplyRowBitset(x, s)
+			fired = s.AppendFired(fired[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ApplyRowBitset+AppendFired allocates %v per %d-row cycle, want 0", allocs, len(X))
+	}
+}
+
+// TestApplyRowBitsetWidthInvariant pins the loud schema-mismatch panic on
+// the bitset path.
+func TestApplyRowBitsetWidthInvariant(t *testing.T) {
+	c, err := Compile([]Rule{{Predicates: []Predicate{{Metric: 3, Op: LE, Threshold: 1}}}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("narrow row should panic")
+		}
+	}()
+	c.ApplyRowBitset(make([]float64, 2), c.NewRowScratch())
+}

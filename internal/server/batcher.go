@@ -4,10 +4,11 @@
 //
 // The micro-batcher is the serving-side counterpart of the train-side
 // feature store: concurrent single-pair requests are coalesced into one
-// Model.ScoreBatch call, so the per-batch value-preparation memoization of
-// featstore.ComputeRows is amortized across requests that arrive together.
-// Batch scores are bit-identical to unbatched Model.Score calls — batching
-// changes latency and throughput, never verdicts.
+// Model.ScoreBatch call, which shards the flush across cores over pooled
+// scoring scratch (zero allocations per pair) and serves consecutive
+// pairs sharing a record from the scratch's side cache. Batch scores are
+// bit-identical to unbatched Model.Score calls — batching changes latency
+// and throughput, never verdicts.
 package server
 
 import (
@@ -65,8 +66,9 @@ type Batcher struct {
 	stop chan struct{} // closed by Close after the last Submit returns
 	done chan struct{} // closed when the scoring loop has exited
 
-	flushes atomic.Int64 // ScoreBatch calls issued
-	batched atomic.Int64 // pairs scored through those calls
+	flushes  atomic.Int64 // ScoreBatch calls issued
+	batched  atomic.Int64 // pairs scored through those calls
+	maxFlush atomic.Int64 // largest flush observed
 }
 
 // NewBatcher starts a micro-batcher over the given shared model pointer.
@@ -148,6 +150,16 @@ func (b *Batcher) Flushes() (flushes, pairs int64) {
 	return b.flushes.Load(), b.batched.Load()
 }
 
+// QueueDepth returns how many accepted requests are waiting to join a
+// batch right now — the backpressure signal the /debug/vars expvar
+// surface exports.
+func (b *Batcher) QueueDepth() int { return len(b.reqs) }
+
+// MaxFlush returns the largest flush the batcher has issued — together
+// with batched/flushes it characterizes the coalescing the traffic shape
+// actually achieves.
+func (b *Batcher) MaxFlush() int64 { return b.maxFlush.Load() }
+
 // loop is the single scoring goroutine: collect a batch, snapshot the
 // model, flush, repeat. One goroutine means batch assembly needs no locks;
 // scoring itself fans out inside ScoreBatch (internal/par).
@@ -217,6 +229,12 @@ func (b *Batcher) flush(batch []pending) {
 	}
 	b.flushes.Add(1)
 	b.batched.Add(int64(len(batch)))
+	for {
+		cur := b.maxFlush.Load()
+		if int64(len(batch)) <= cur || b.maxFlush.CompareAndSwap(cur, int64(len(batch))) {
+			break
+		}
+	}
 	scores, err := m.ScoreBatch(pairs)
 	if err != nil {
 		for _, p := range batch {

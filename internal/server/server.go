@@ -97,6 +97,13 @@ func (s *Server) Swaps() int64 { return s.swaps.Load() }
 // flushes it issued and how many single-pair requests rode them.
 func (s *Server) BatchStats() (flushes, pairs int64) { return s.batcher.Flushes() }
 
+// QueueDepth reports how many accepted single-pair requests are waiting to
+// join a batch (the micro-batcher's backpressure signal).
+func (s *Server) QueueDepth() int { return s.batcher.QueueDepth() }
+
+// MaxFlush reports the largest micro-batch flushed so far.
+func (s *Server) MaxFlush() int64 { return s.batcher.MaxFlush() }
+
 // Score risk-scores one pair through the micro-batcher and reports which
 // model snapshot produced the verdict.
 func (s *Server) Score(ctx context.Context, p learnrisk.Pair) (learnrisk.PairScore, string, error) {

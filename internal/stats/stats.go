@@ -76,10 +76,22 @@ type TruncNormal struct {
 // It returns an error when lo >= hi. sigma <= 0 is accepted and treated as a
 // point mass at clamp(mu, lo, hi).
 func NewTruncNormal(mu, sigma, lo, hi float64) (*TruncNormal, error) {
-	if lo >= hi {
-		return nil, errors.New("stats: truncation interval is empty")
+	t, err := MakeTruncNormal(mu, sigma, lo, hi)
+	if err != nil {
+		return nil, err
 	}
-	t := &TruncNormal{Mu: mu, Sigma: sigma, Lo: lo, Hi: hi}
+	return &t, nil
+}
+
+// MakeTruncNormal is NewTruncNormal returning the distribution by value —
+// the allocation-free form the per-pair scoring hot path uses (a returned
+// pointer escapes to the heap on every call; the value stays on the
+// caller's stack).
+func MakeTruncNormal(mu, sigma, lo, hi float64) (TruncNormal, error) {
+	if lo >= hi {
+		return TruncNormal{}, errors.New("stats: truncation interval is empty")
+	}
+	t := TruncNormal{Mu: mu, Sigma: sigma, Lo: lo, Hi: hi}
 	if sigma > 0 {
 		t.cdfLo = NormalCDF(lo, mu, sigma)
 		t.cdfHi = NormalCDF(hi, mu, sigma)

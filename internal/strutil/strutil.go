@@ -8,28 +8,64 @@ package strutil
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Normalize lowercases s, replaces punctuation with spaces and collapses
 // runs of whitespace into single spaces. It is the canonical preprocessing
 // step applied to every attribute value before metric computation.
 func Normalize(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
+	return string(AppendNormalized(make([]byte, 0, len(s)), s))
+}
+
+// AppendNormalized appends the Normalize form of s to dst and returns the
+// extended slice. It is the allocation-free core of Normalize: callers that
+// own a reusable buffer (the serving-path metrics.Prepared reuse) pay no
+// heap allocation in steady state. The bytes appended are byte-identical to
+// Normalize(s).
+func AppendNormalized(dst []byte, s string) []byte {
 	lastSpace := true
-	for _, r := range s {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-			lastSpace = false
-		default:
-			if !lastSpace {
-				b.WriteByte(' ')
+	pending := false
+	for i := 0; i < len(s); {
+		var r rune
+		if c := s[i]; c < utf8.RuneSelf {
+			// ASCII fast path: classification and lowercase match
+			// unicode.IsLetter/IsDigit/ToLower exactly on this range.
+			i++
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+				// A separator run becomes one space, emitted lazily so a
+				// trailing run vanishes (Normalize's TrimRight).
+				if pending {
+					dst = append(dst, ' ')
+					pending = false
+				}
+				dst = append(dst, c)
+				lastSpace = false
+			} else if !lastSpace {
+				pending = true
 				lastSpace = true
 			}
+			continue
+		}
+		var size int
+		r, size = utf8.DecodeRuneInString(s[i:])
+		i += size
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if pending {
+				dst = append(dst, ' ')
+				pending = false
+			}
+			dst = utf8.AppendRune(dst, unicode.ToLower(r))
+			lastSpace = false
+		} else if !lastSpace {
+			pending = true
+			lastSpace = true
 		}
 	}
-	return strings.TrimRight(b.String(), " ")
+	return dst
 }
 
 // Tokens splits s (after normalization) into its whitespace-separated tokens.
@@ -75,25 +111,82 @@ func Abbreviation(s string) string {
 	return b.String()
 }
 
-// entitySeparators rewrites the separator variants of entity lists to
-// commas. Hoisted to package level: strings.NewReplacer builds its matching
-// machinery lazily on first use and is safe for concurrent use, so building
-// it per call wasted measurable time in the metric hot path.
-var entitySeparators = strings.NewReplacer(";", ",", " and ", ",", " & ", ",")
-
 // SplitEntities splits an entity-set attribute value (for example an author
-// list) on commas, semicolons and the literal " and ", normalizing each
-// element. Empty elements are dropped. The result is never nil.
+// list) on commas, semicolons and the literals " and " / " & "
+// (case-insensitive), normalizing each element. Empty elements are dropped.
+// The result is never nil.
 func SplitEntities(s string) []string {
-	replaced := entitySeparators.Replace(strings.ToLower(s))
-	parts := strings.Split(replaced, ",")
-	out := make([]string, 0, len(parts))
-	for _, p := range parts {
-		if n := Normalize(p); n != "" {
-			out = append(out, n)
-		}
+	buf, ends := AppendEntitySplit(nil, nil, s)
+	out := make([]string, 0, len(ends))
+	start := 0
+	for _, end := range ends {
+		out = append(out, string(buf[start:end]))
+		start = end
 	}
 	return out
+}
+
+// AppendEntitySplit is the allocation-free core of SplitEntities: each
+// normalized entity of s is appended to buf back to back, and each entity's
+// end offset within buf is appended to ends. Entities that normalize to ""
+// are dropped, exactly as SplitEntities drops them. Callers that own
+// reusable buf/ends buffers (the serving-path metrics.Prepared reuse) pay
+// no heap allocation in steady state.
+//
+// The separator semantics replicate the historical implementation
+// (ToLower, then a left-to-right Replacer pass over ";", " and ", " & ",
+// then a split on ","): a boundary is a ';' or ',' byte, or a
+// case-insensitive " and " / " & " run; after a multi-byte separator
+// matches, scanning resumes past it. All separators are pure ASCII and no
+// Unicode lowercase mapping produces the bytes involved, so scanning the
+// original string is equivalent to scanning its ToLower form.
+func AppendEntitySplit(buf []byte, ends []int, s string) ([]byte, []int) {
+	flush := func(seg string) {
+		before := len(buf)
+		buf = AppendNormalized(buf, seg)
+		if len(buf) > before {
+			ends = append(ends, len(buf))
+		}
+	}
+	start := 0
+	for i := 0; i < len(s); {
+		switch {
+		case s[i] == ';' || s[i] == ',':
+			flush(s[start:i])
+			i++
+			start = i
+		case s[i] == ' ' && hasFoldPrefix(s[i:], " and "):
+			flush(s[start:i])
+			i += len(" and ")
+			start = i
+		case s[i] == ' ' && hasFoldPrefix(s[i:], " & "):
+			flush(s[start:i])
+			i += len(" & ")
+			start = i
+		default:
+			i++
+		}
+	}
+	flush(s[start:])
+	return buf, ends
+}
+
+// hasFoldPrefix reports whether s starts with the ASCII-lowercase pattern,
+// comparing ASCII letters case-insensitively.
+func hasFoldPrefix(s, pattern string) bool {
+	if len(s) < len(pattern) {
+		return false
+	}
+	for i := 0; i < len(pattern); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != pattern[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // QGrams returns the q-grams (length-q substrings over runes) of the

