@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples build-cmds vet fmtcheck test race cover allocs tier1 bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline
+.PHONY: build build-examples build-cmds vet fmtcheck test race cover allocs tier1 bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5
 
 build:
 	$(GO) build ./...
@@ -30,19 +30,21 @@ test:
 	$(GO) test ./...
 
 # race covers the packages whose hot paths run under internal/par worker
-# pools (disjoint-write contracts), the facade's concurrent serving path
-# (Model.Score/ScoreBatch from many goroutines), and the HTTP serving
-# layer (micro-batcher coalescing + model hot-swap under load).
+# pools (disjoint-write contracts), the facade's concurrent serving and
+# resolve paths (Model.Score/ScoreBatch/Resolve from many goroutines while
+# the match store mutates), the online match store itself (concurrent
+# Add/Delete/probe across compaction), and the HTTP serving layer
+# (micro-batcher coalescing + model hot-swap under load).
 race:
 	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/...
-	$(GO) test -race ./internal/server/...
-	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent' .
+	$(GO) test -race ./internal/server/... ./internal/match/...
+	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent|TestResolveConcurrent' .
 
 # cover enforces statement-coverage floors on the serving-grade packages:
 # the HTTP/batching layer, the feature store, and the facade (golden
 # regression + Save/Load property tests live there). Raise the floors as
 # coverage grows; never lower them.
-COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 .:85
+COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 ./internal/match:80 .:85
 
 cover:
 	@set -e; for pf in $(COVER_FLOORS); do \
@@ -94,3 +96,10 @@ bench-pr4:
 
 bench-pr4-baseline:
 	$(GO) run ./cmd/bench -out BENCH_PR4.json -label baseline -bench $(SERVE_BENCHES) -benchtime 3s
+
+# bench-pr5 refreshes BENCH_PR5.json — online resolve on a warm 10k-record
+# incremental index vs the naive rebuild-per-probe baseline (latency mean,
+# p50/p99 and candidates per probe). The acceptance bar is warm >= 10x
+# faster than rebuild; compare the two benchmarks' ns/op.
+bench-pr5:
+	$(GO) run ./cmd/bench -out BENCH_PR5.json -label current -bench OnlineResolve -benchtime 2s

@@ -13,12 +13,23 @@
 //
 // Endpoints (JSON):
 //
-//	POST /v1/score         {"left": [...], "right": [...]}
-//	POST /v1/score/batch   {"pairs": [{"left": [...], "right": [...]}, ...]}
-//	POST /v1/explain       {"left": [...], "right": [...]}
-//	GET  /v1/model
-//	POST /v1/model/reload  {"path": "new.json", "force": false}
-//	GET  /healthz
+//	POST   /v1/score         {"left": [...], "right": [...]}
+//	POST   /v1/score/batch   {"pairs": [{"left": [...], "right": [...]}, ...]}
+//	POST   /v1/explain       {"left": [...], "right": [...]}
+//	POST   /v1/records       {"values": [...]}
+//	DELETE /v1/records/{id}
+//	POST   /v1/resolve       {"values": [...], "k": 5}
+//	GET    /v1/model
+//	POST   /v1/model/reload  {"path": "new.json", "force": false}
+//	GET    /healthz          liveness
+//	GET    /readyz           readiness (503 until the model is loaded and
+//	                         the -records warm-load has finished)
+//
+// -records seeds the online match store from a CSV in the repository's
+// table layout (header row, then id,entity_id,<values...> — what
+// cmd/datagen and dataset.WriteTableCSV emit). The load runs in the
+// background: the listener accepts traffic immediately, /readyz flips to
+// 200 when the index is warm.
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
 // finish (bounded by -shutdown-timeout), then the micro-batcher stops.
@@ -26,8 +37,10 @@
 // -pprof localhost:6060 starts a second, debug-only listener exposing
 // /debug/pprof (CPU/heap/goroutine profiles) and /debug/vars (expvar
 // counters: batcher flushes, batched pairs, mean/max flush size, queue
-// depth, served pairs, model swaps). Keep it bound to localhost — it is
-// intentionally separate from the client-facing listener.
+// depth, served pairs, model swaps, and the match store's records,
+// tombstones, compactions, resolves and mean candidates per probe). Keep
+// it bound to localhost — it is intentionally separate from the
+// client-facing listener.
 package main
 
 import (
@@ -45,6 +58,8 @@ import (
 	"time"
 
 	learnrisk "repro"
+	"repro/internal/dataset"
+	"repro/internal/match"
 	"repro/internal/server"
 )
 
@@ -57,6 +72,9 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "seed for startup training")
 		maxBatch    = flag.Int("max-batch", 64, "micro-batcher flush size (1 disables coalescing)")
 		maxLinger   = flag.Duration("max-linger", 2*time.Millisecond, "micro-batcher linger before an under-full batch flushes (0 = greedy)")
+		recordsPath = flag.String("records", "", "CSV table (id,entity_id,<values...> with header) to warm-load into the match store; /readyz is 503 until done")
+		minShared   = flag.Int("match-min-shared", 0, "blocking tokens a stored record must share with a probe (0 = default 1)")
+		maxBlock    = flag.Int("match-max-block", 0, "stop-token pruning bound for the match index (0 = default 200, negative disables)")
 		pprofAddr   = flag.String("pprof", "", "optional debug listener address (e.g. localhost:6060) exposing /debug/pprof and /debug/vars; empty disables it")
 		readTimeout = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
@@ -76,8 +94,30 @@ func main() {
 		MaxBatch:  *maxBatch,
 		MaxLinger: *maxLinger,
 		ModelPath: *modelPath,
+		Match: match.Config{
+			MinSharedTokens: *minShared,
+			MaxBlockSize:    *maxBlock,
+		},
 	})
 	defer srv.Close()
+
+	// Warm-load runs in the background so the listener binds immediately;
+	// /readyz holds 503 until the index is populated (or reports why the
+	// load failed — a replica with a half-empty index must not take
+	// traffic silently).
+	if *recordsPath != "" {
+		srv.SetNotReady(fmt.Sprintf("warm-loading match records from %s", *recordsPath))
+		go func() {
+			n, err := warmLoadRecords(srv, *recordsPath)
+			if err != nil {
+				log.Printf("warm-load: %v", err)
+				srv.SetNotReady(fmt.Sprintf("warm-load of %s failed: %v", *recordsPath, err))
+				return
+			}
+			log.Printf("warm-loaded %d records into the match store", n)
+			srv.SetReady()
+		}()
+	}
 
 	publishDebugVars(srv)
 	if *pprofAddr != "" {
@@ -149,6 +189,53 @@ func publishDebugVars(srv *server.Server) {
 	expvar.Publish("batcher_queue_depth", expvar.Func(func() any { return srv.QueueDepth() }))
 	expvar.Publish("served_pairs", expvar.Func(func() any { return srv.Served() }))
 	expvar.Publish("model_swaps", expvar.Func(func() any { return srv.Swaps() }))
+
+	// Match-store counters as one expvar: a single Stats() sweep per
+	// scrape (Stats briefly takes every shard lock, so one consistent
+	// snapshot beats five contending ones), re-read from the current store
+	// so the counters follow a forced schema-changing swap.
+	expvar.Publish("match_store", expvar.Func(func() any {
+		st := srv.MatchStore().Stats()
+		mean := 0.0
+		if st.Probes > 0 {
+			mean = float64(st.Candidates) / float64(st.Probes)
+		}
+		return map[string]any{
+			"records_live":              st.Live,
+			"records_indexed":           st.Added,
+			"records_deleted":           st.Deleted,
+			"tokens":                    st.Tokens,
+			"tombstones":                st.Tombstones,
+			"compactions":               st.Compactions,
+			"probes":                    st.Probes,
+			"resolves":                  srv.Resolves(),
+			"mean_candidates_per_probe": mean,
+		}
+	}))
+}
+
+// warmLoadRecords loads a CSV table (the repository layout dataset.
+// ReadTableCSV reads: header row, then id,entity_id,<values...>) into the
+// server's match store. Only the schema arity matters for parsing —
+// attribute types drive metric selection at training time, not CSV layout
+// — so the schema handed to the reader carries zero-valued types.
+func warmLoadRecords(srv *server.Server, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	schema := &dataset.Schema{Attrs: make([]dataset.Attr, srv.MatchStore().Arity())}
+	t, err := dataset.ReadTableCSV(f, path, schema)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range t.Records {
+		if _, err := srv.AddRecord(r.Values); err != nil {
+			return i, fmt.Errorf("%s record %d (id %q): %w", path, i, r.ID, err)
+		}
+	}
+	return len(t.Records), nil
 }
 
 // obtainModel loads the artifact at path, or trains a fresh model on a

@@ -14,17 +14,30 @@ import (
 	"repro/internal/strutil"
 )
 
+// The shared blocking defaults. internal/match mirrors Config's semantics
+// for its incremental index — its probes are pinned to equal a batch
+// Candidates run — so both packages resolve their zero values from these
+// constants rather than drifting apart on duplicated literals.
+const (
+	// DefaultMinSharedTokens is how many blocking tokens two records must
+	// share to become a candidate pair when Config leaves it zero.
+	DefaultMinSharedTokens = 1
+	// DefaultMaxBlockSize is the stop-token pruning bound when Config
+	// leaves it zero (negative disables pruning).
+	DefaultMaxBlockSize = 200
+)
+
 // Config controls token blocking.
 type Config struct {
 	// Attrs are the attribute indices used as blocking keys. Empty means
 	// all attributes.
 	Attrs []int
 	// MinSharedTokens is the number of blocking tokens two records must
-	// share to become a candidate pair (default 1).
+	// share to become a candidate pair (default DefaultMinSharedTokens).
 	MinSharedTokens int
 	// MaxBlockSize drops tokens whose block is larger than this bound
-	// (stop-token pruning; default 200). A non-positive value disables
-	// pruning.
+	// (stop-token pruning; default DefaultMaxBlockSize). A negative value
+	// disables pruning.
 	MaxBlockSize int
 }
 
@@ -35,10 +48,10 @@ func (c Config) withDefaults(arity int) Config {
 		}
 	}
 	if c.MinSharedTokens <= 0 {
-		c.MinSharedTokens = 1
+		c.MinSharedTokens = DefaultMinSharedTokens
 	}
 	if c.MaxBlockSize == 0 {
-		c.MaxBlockSize = 200
+		c.MaxBlockSize = DefaultMaxBlockSize
 	}
 	return c
 }

@@ -1,0 +1,33 @@
+package blocking
+
+import "repro/internal/dataset"
+
+// TokenScratch is the exported face of the package tokenizer, for
+// incremental consumers (the online index in internal/match) that must
+// tokenize probe and stored records byte-identically to Candidates — same
+// normalization, same per-attribute boundaries, same >= 2-byte filter. A
+// scratch tokenizes one record at a time over reusable buffers; it is owned
+// by one goroutine at a time.
+type TokenScratch struct {
+	ts  tokenScratch
+	rec dataset.Record
+}
+
+// Tokenize fills the scratch with the blocking tokens of one record's raw
+// values over the given attribute indices (the same Attrs semantics as
+// Config: indices past the value slice are skipped, an empty list yields no
+// tokens — callers resolve defaults first). It returns the token count.
+// Tokens may repeat within a record; distinct-token semantics are the
+// caller's, exactly as Candidates deduplicates per record.
+func (s *TokenScratch) Tokenize(values []string, attrs []int) int {
+	s.rec.Values = values
+	s.ts.tokenize(s.rec, attrs)
+	return len(s.ts.ranges)
+}
+
+// Token returns the i-th token of the last Tokenize call as a byte view
+// into the scratch's buffer — valid only until the next Tokenize.
+func (s *TokenScratch) Token(i int) []byte {
+	rg := s.ts.ranges[i]
+	return s.ts.buf[rg[0]:rg[1]]
+}

@@ -1,0 +1,461 @@
+// Package match is the online entity-resolution subsystem: a sharded,
+// mutable record store that maintains an incremental inverted blocking
+// index, so "here is a new record — who does it match?" is answered by a
+// query-time posting-list probe instead of the batch rebuild
+// blocking.Candidates performs (the paper's risk-analysis loop assumes such
+// a candidate-generation front end; the batch path stays as the oracle the
+// property tests pin this package against).
+//
+// The store assigns stable, monotonically increasing record IDs. Deletes
+// tombstone the record's posting entries — the record leaves the ID map
+// immediately, the posting entries linger with a per-posting dead count and
+// are dropped by compaction once a posting is tombstone-heavy. Probes
+// therefore never pay a rebuild: candidate generation for one record is a
+// walk of the probe tokens' posting lists with a liveness filter, and its
+// result is identical to running blocking.Candidates from scratch on the
+// surviving records.
+package match
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blocking"
+)
+
+// ErrArity marks a record or probe whose value count does not match the
+// store's schema arity. Serving layers classify it with errors.Is (a client
+// error, not a server fault).
+var ErrArity = errors.New("match: values do not match the store schema arity")
+
+// Config controls the store's blocking semantics and maintenance. The
+// blocking fields mirror blocking.Config exactly — a probe against the
+// store and a batch Candidates rebuild under the same values must agree.
+type Config struct {
+	// Attrs are the attribute indices used as blocking keys. Empty means
+	// all attributes.
+	Attrs []int
+	// MinSharedTokens is the number of blocking tokens a stored record must
+	// share with the probe to become a candidate (default
+	// blocking.DefaultMinSharedTokens).
+	MinSharedTokens int
+	// MaxBlockSize skips probe tokens whose posting list holds more than
+	// this many live records (stop-token pruning; default
+	// blocking.DefaultMaxBlockSize). A negative value disables pruning.
+	MaxBlockSize int
+	// Shards is the number of record and token shards (rounded up to a
+	// power of two; default 16).
+	Shards int
+	// CompactMinDead is the minimum tombstone count in one posting list
+	// before compaction considers it (default 16).
+	CompactMinDead int
+	// CompactFrac is the tombstoned fraction of a posting list that
+	// triggers its compaction (default 0.5).
+	CompactFrac float64
+}
+
+func (c Config) withDefaults(arity int) Config {
+	if len(c.Attrs) == 0 {
+		for i := 0; i < arity; i++ {
+			c.Attrs = append(c.Attrs, i)
+		}
+	}
+	if c.MinSharedTokens <= 0 {
+		c.MinSharedTokens = blocking.DefaultMinSharedTokens
+	}
+	if c.MaxBlockSize == 0 {
+		c.MaxBlockSize = blocking.DefaultMaxBlockSize
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.CompactMinDead <= 0 {
+		c.CompactMinDead = 16
+	}
+	if c.CompactFrac <= 0 {
+		c.CompactFrac = 0.5
+	}
+	return c
+}
+
+// Store is the mutable record store plus its incremental inverted blocking
+// index. All methods are safe for concurrent use: records live in
+// ID-sharded maps behind per-shard RWMutexes, posting lists in token-hash
+// shards behind their own. Value slices are copied in at Add and never
+// mutated afterwards, so Get can hand them out without copying and probes
+// never see torn records across compaction.
+type Store struct {
+	cfg       Config
+	arity     int
+	seed      maphash.Seed
+	shardMask uint64
+
+	nextID atomic.Uint64
+	recs   []recShard
+	toks   []tokShard
+
+	adds        atomic.Int64
+	dels        atomic.Int64
+	probes      atomic.Int64
+	candidates  atomic.Int64
+	tombstones  atomic.Int64
+	compactions atomic.Int64
+
+	addPool sync.Pool // *addScratch
+}
+
+type recShard struct {
+	// op serializes whole Add and Delete operations for this shard's IDs
+	// (map publication + posting maintenance as one unit). Without it, a
+	// Delete racing the Add of the same ID could tombstone postings the
+	// Add has not appended yet — dead entries no counter ever sees, and no
+	// compaction ever sweeps. Probes never take it; lock order is always
+	// op -> token shard -> record shard, so the graph stays acyclic.
+	op sync.Mutex
+	mu sync.RWMutex
+	m  map[uint64][]string
+}
+
+type tokShard struct {
+	mu sync.RWMutex
+	m  map[string]*posting
+}
+
+// posting is one token's list of record IDs in insertion order. dead counts
+// the tombstoned entries still present; live membership is len(ids)-dead.
+// The struct is mutated in place under its shard lock, so its pointer is a
+// stable identity — the probe path uses that to deduplicate repeated probe
+// tokens without allocating.
+type posting struct {
+	ids  []uint64
+	dead int32
+}
+
+// addScratch is the reusable state of one Add/Delete call: the tokenizer
+// and the record's deduplicated token set.
+type addScratch struct {
+	ts   blocking.TokenScratch
+	toks []string
+	seen map[string]struct{}
+}
+
+// New builds an empty store for records of the given arity.
+func New(arity int, cfg Config) (*Store, error) {
+	if arity <= 0 {
+		return nil, fmt.Errorf("match: store arity must be positive, got %d", arity)
+	}
+	cfg.Attrs = slices.Clone(cfg.Attrs) // the caller may reuse its slice
+	cfg = cfg.withDefaults(arity)
+	for _, a := range cfg.Attrs {
+		if a < 0 || a >= arity {
+			return nil, fmt.Errorf("match: blocking attribute index %d outside schema arity %d", a, arity)
+		}
+	}
+	shards := 1
+	for shards < cfg.Shards {
+		shards <<= 1
+	}
+	cfg.Shards = shards
+	s := &Store{
+		cfg:       cfg,
+		arity:     arity,
+		seed:      maphash.MakeSeed(),
+		shardMask: uint64(shards - 1),
+		recs:      make([]recShard, shards),
+		toks:      make([]tokShard, shards),
+	}
+	for i := range s.recs {
+		s.recs[i].m = make(map[uint64][]string)
+	}
+	for i := range s.toks {
+		s.toks[i].m = make(map[string]*posting)
+	}
+	s.addPool.New = func() any {
+		return &addScratch{seen: make(map[string]struct{})}
+	}
+	return s, nil
+}
+
+// Arity returns the store's schema arity (values per record).
+func (s *Store) Arity() int { return s.arity }
+
+// Config returns the resolved configuration (defaults filled in).
+func (s *Store) Config() Config {
+	cfg := s.cfg
+	cfg.Attrs = slices.Clone(cfg.Attrs)
+	return cfg
+}
+
+func (s *Store) recShardOf(id uint64) *recShard { return &s.recs[id&s.shardMask] }
+
+func (s *Store) tokShardOf(tok []byte) *tokShard {
+	return &s.toks[maphash.Bytes(s.seed, tok)&s.shardMask]
+}
+
+// tokShardOfString is tokShardOf for interned tokens (same hash as the
+// byte form, no []byte conversion allocating on the Add/Delete path).
+func (s *Store) tokShardOfString(tok string) *tokShard {
+	return &s.toks[maphash.String(s.seed, tok)&s.shardMask]
+}
+
+// distinctTokens fills a.toks with the record's deduplicated blocking
+// tokens (interned strings — Add needs them as map keys anyway).
+func (s *Store) distinctTokens(a *addScratch, values []string) {
+	a.toks = a.toks[:0]
+	n := a.ts.Tokenize(values, s.cfg.Attrs)
+	for i := 0; i < n; i++ {
+		tok := a.ts.Token(i)
+		if _, dup := a.seen[string(tok)]; dup { // alloc-free lookup
+			continue
+		}
+		t := string(tok)
+		a.seen[t] = struct{}{}
+		a.toks = append(a.toks, t)
+	}
+	clear(a.seen)
+}
+
+// Add stores a copy of the record's values under a fresh stable ID and
+// indexes its distinct blocking tokens. The values must carry exactly one
+// entry per schema attribute.
+func (s *Store) Add(values []string) (uint64, error) {
+	if len(values) != s.arity {
+		return 0, fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), s.arity, ErrArity)
+	}
+	vals := slices.Clone(values)
+	id := s.nextID.Add(1) - 1
+	rs := s.recShardOf(id)
+	rs.op.Lock()
+	defer rs.op.Unlock()
+	rs.mu.Lock()
+	rs.m[id] = vals
+	rs.mu.Unlock()
+
+	a := s.addPool.Get().(*addScratch)
+	s.distinctTokens(a, vals)
+	for _, t := range a.toks {
+		sh := s.tokShardOfString(t)
+		sh.mu.Lock()
+		p := sh.m[t]
+		if p == nil {
+			p = &posting{}
+			sh.m[t] = p
+		}
+		p.ids = append(p.ids, id)
+		sh.mu.Unlock()
+	}
+	s.addPool.Put(a)
+	s.adds.Add(1)
+	return id, nil
+}
+
+// Delete removes the record: it leaves the ID map immediately (Get and
+// probes stop seeing it) and its posting entries become tombstones, dropped
+// lazily when their posting list compacts. Returns false when the ID is
+// unknown or already deleted.
+func (s *Store) Delete(id uint64) bool {
+	rs := s.recShardOf(id)
+	rs.op.Lock()
+	defer rs.op.Unlock()
+	rs.mu.Lock()
+	vals, ok := rs.m[id]
+	if ok {
+		delete(rs.m, id)
+	}
+	rs.mu.Unlock()
+	if !ok {
+		return false
+	}
+
+	a := s.addPool.Get().(*addScratch)
+	s.distinctTokens(a, vals)
+	for _, t := range a.toks {
+		sh := s.tokShardOfString(t)
+		sh.mu.Lock()
+		// Tombstone only if the entry is still present: a compaction
+		// triggered by a concurrent delete of ANOTHER record sharing this
+		// token may have already dropped it — this record left the ID map
+		// first, so that compaction saw it as dead. Counting it anyway
+		// would overstate p.dead forever and skew the live-count pruning.
+		// (Same-ID add/delete races cannot reach here: rs.op serializes
+		// them.)
+		if p := sh.m[t]; p != nil && slices.Contains(p.ids, id) {
+			p.dead++
+			s.tombstones.Add(1)
+			if int(p.dead) >= s.cfg.CompactMinDead && float64(p.dead) >= s.cfg.CompactFrac*float64(len(p.ids)) {
+				s.compactPosting(sh, t, p)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	s.addPool.Put(a)
+	s.dels.Add(1)
+	return true
+}
+
+// compactPosting rewrites one posting list in place, dropping entries whose
+// record is gone. Caller holds the token shard lock; record shards are only
+// read-locked inside, never the other way around, so the lock order is
+// acyclic.
+func (s *Store) compactPosting(sh *tokShard, tok string, p *posting) {
+	kept := p.ids[:0]
+	for _, id := range p.ids {
+		if s.alive(id) {
+			kept = append(kept, id)
+		}
+	}
+	p.ids = kept
+	// The gauge subtracts the counted tombstones (p.dead), not the removed
+	// entry count: compaction may also sweep entries whose delete is still
+	// in flight and never got counted (it will find the entry gone and
+	// skip). Subtracting removals would drift the gauge negative.
+	s.tombstones.Add(int64(-p.dead))
+	p.dead = 0
+	if len(p.ids) == 0 {
+		delete(sh.m, tok)
+	}
+	s.compactions.Add(1)
+}
+
+// Compact sweeps every posting list, dropping all tombstones now. Normal
+// operation does not need it — Delete compacts tombstone-heavy postings as
+// it goes — but an operator can reclaim space after a bulk delete.
+func (s *Store) Compact() {
+	for i := range s.toks {
+		sh := &s.toks[i]
+		sh.mu.Lock()
+		for tok, p := range sh.m {
+			if p.dead > 0 {
+				s.compactPosting(sh, tok, p)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Store) alive(id uint64) bool {
+	rs := s.recShardOf(id)
+	rs.mu.RLock()
+	_, ok := rs.m[id]
+	rs.mu.RUnlock()
+	return ok
+}
+
+// Get returns the record's values. The returned slice is the store's own
+// copy, immutable by contract — callers must not modify it. This is what
+// lets the resolve path score candidates without a per-candidate copy.
+func (s *Store) Get(id uint64) ([]string, bool) {
+	rs := s.recShardOf(id)
+	rs.mu.RLock()
+	vals, ok := rs.m[id]
+	rs.mu.RUnlock()
+	return vals, ok
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.recs {
+		rs := &s.recs[i]
+		rs.mu.RLock()
+		n += len(rs.m)
+		rs.mu.RUnlock()
+	}
+	return n
+}
+
+// ProbeScratch is one prober's reusable state: the tokenizer, the distinct
+// postings touched (deduplicated by pointer identity — each token owns one
+// posting, so repeated probe tokens hit the same pointer), and the gathered
+// candidate IDs. Owned by one goroutine at a time; the facade pools them.
+type ProbeScratch struct {
+	ts    blocking.TokenScratch
+	posts []*posting
+	ids   []uint64
+}
+
+// AppendCandidates appends the IDs of the live records that share at least
+// MinSharedTokens blocking tokens with the probe values, in ascending ID
+// order, and returns the extended slice. The result is exactly what a batch
+// blocking.Candidates run of the probe against the surviving records would
+// pair it with (the oracle property test pins this). Steady state performs
+// no heap allocations beyond dst growth.
+func (s *Store) AppendCandidates(dst []uint64, values []string, ps *ProbeScratch) ([]uint64, error) {
+	if len(values) != s.arity {
+		return dst, fmt.Errorf("match: probe has %d values, store schema has %d: %w", len(values), s.arity, ErrArity)
+	}
+	ps.posts = ps.posts[:0]
+	ps.ids = ps.ids[:0]
+	n := ps.ts.Tokenize(values, s.cfg.Attrs)
+	for i := 0; i < n; i++ {
+		tok := ps.ts.Token(i)
+		sh := s.tokShardOf(tok)
+		sh.mu.RLock()
+		p := sh.m[string(tok)] // alloc-free lookup
+		if p == nil || slices.Contains(ps.posts, p) {
+			sh.mu.RUnlock()
+			continue // token absent, or distinct-token semantics within the probe
+		}
+		ps.posts = append(ps.posts, p)
+		if s.cfg.MaxBlockSize > 0 && len(p.ids)-int(p.dead) > s.cfg.MaxBlockSize {
+			sh.mu.RUnlock()
+			continue // stop-token pruning on the live block size
+		}
+		ps.ids = append(ps.ids, p.ids...)
+		sh.mu.RUnlock()
+	}
+	// Shared-token counts by run length: postings never repeat an ID, so
+	// after sorting, one record's occurrences are contiguous and count the
+	// distinct probe tokens it shares.
+	slices.Sort(ps.ids)
+	base := len(dst)
+	for i := 0; i < len(ps.ids); {
+		j := i + 1
+		for j < len(ps.ids) && ps.ids[j] == ps.ids[i] {
+			j++
+		}
+		if j-i >= s.cfg.MinSharedTokens && s.alive(ps.ids[i]) {
+			dst = append(dst, ps.ids[i])
+		}
+		i = j
+	}
+	s.probes.Add(1)
+	s.candidates.Add(int64(len(dst) - base))
+	return dst, nil
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Live        int   // live records
+	Added       int64 // records ever added
+	Deleted     int64 // records ever deleted
+	Tokens      int   // distinct tokens currently indexed
+	Tombstones  int64 // tombstoned posting entries awaiting compaction
+	Compactions int64 // posting-list compactions performed
+	Probes      int64 // candidate-generation probes served
+	Candidates  int64 // candidates returned across all probes
+}
+
+// Stats snapshots the counters (taking each shard lock briefly).
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Live:        s.Len(),
+		Added:       s.adds.Load(),
+		Deleted:     s.dels.Load(),
+		Tombstones:  s.tombstones.Load(),
+		Compactions: s.compactions.Load(),
+		Probes:      s.probes.Load(),
+		Candidates:  s.candidates.Load(),
+	}
+	for i := range s.toks {
+		sh := &s.toks[i]
+		sh.mu.RLock()
+		st.Tokens += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return st
+}

@@ -1,0 +1,236 @@
+package match
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func mustStore(t *testing.T, arity int, cfg Config) *Store {
+	t.Helper()
+	s, err := New(arity, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Config{}); err == nil {
+		t.Error("arity 0 accepted")
+	}
+	if _, err := New(2, Config{Attrs: []int{2}}); err == nil {
+		t.Error("attr index beyond arity accepted")
+	}
+	if _, err := New(2, Config{Attrs: []int{-1}}); err == nil {
+		t.Error("negative attr index accepted")
+	}
+	s := mustStore(t, 3, Config{Shards: 5})
+	if got := s.Config().Shards; got != 8 {
+		t.Errorf("shards rounded to %d, want 8", got)
+	}
+	if got := s.Config().Attrs; !slices.Equal(got, []int{0, 1, 2}) {
+		t.Errorf("default attrs = %v", got)
+	}
+}
+
+func TestAddGetDelete(t *testing.T) {
+	s := mustStore(t, 2, Config{})
+	if _, err := s.Add([]string{"only one"}); !errors.Is(err, ErrArity) {
+		t.Errorf("short record: err = %v, want ErrArity", err)
+	}
+	vals := []string{"deep learning survey", "neural networks"}
+	id, err := s.Add(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = "mutated by caller" // the store must have copied
+	got, ok := s.Get(id)
+	if !ok || got[0] != "deep learning survey" {
+		t.Fatalf("Get(%d) = %q, %v", id, got, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if !s.Delete(id) {
+		t.Error("Delete returned false for a live record")
+	}
+	if s.Delete(id) {
+		t.Error("double Delete returned true")
+	}
+	if _, ok := s.Get(id); ok {
+		t.Error("Get found a deleted record")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after delete, want 0", s.Len())
+	}
+	id2, _ := s.Add([]string{"fresh record", "after delete"})
+	if id2 == id {
+		t.Errorf("record ID %d reused after delete", id)
+	}
+}
+
+func TestCandidatesBasic(t *testing.T) {
+	s := mustStore(t, 2, Config{})
+	a, _ := s.Add([]string{"entity resolution survey", "vldb"})
+	b, _ := s.Add([]string{"entity matching at scale", "sigmod"})
+	c, _ := s.Add([]string{"graph databases", "icde"})
+	var ps ProbeScratch
+
+	got, err := s.AppendCandidates(nil, []string{"entity resolution", ""}, &ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{a, b}; !slices.Equal(got, want) {
+		t.Errorf("candidates = %v, want %v", got, want)
+	}
+
+	// MinSharedTokens raises the bar: only the record sharing both tokens.
+	s2 := mustStore(t, 2, Config{MinSharedTokens: 2})
+	a2, _ := s2.Add([]string{"entity resolution survey", "vldb"})
+	s2.Add([]string{"entity matching at scale", "sigmod"})
+	got, err = s2.AppendCandidates(nil, []string{"entity resolution", ""}, &ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{a2}; !slices.Equal(got, want) {
+		t.Errorf("min-shared-2 candidates = %v, want %v", got, want)
+	}
+
+	// Deleting a record removes it from probe results immediately, even
+	// before any compaction.
+	if !s.Delete(a) {
+		t.Fatal("delete failed")
+	}
+	got, err = s.AppendCandidates(nil, []string{"entity resolution", ""}, &ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{b}; !slices.Equal(got, want) {
+		t.Errorf("candidates after delete = %v, want %v", got, want)
+	}
+
+	if _, err := s.AppendCandidates(nil, []string{"wrong arity"}, &ps); !errors.Is(err, ErrArity) {
+		t.Errorf("probe arity err = %v, want ErrArity", err)
+	}
+	_ = c
+}
+
+func TestTombstonesAndCompaction(t *testing.T) {
+	s := mustStore(t, 1, Config{CompactMinDead: 2, CompactFrac: 0.4})
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		id, err := s.Add([]string{"shared token stream"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:6] {
+		s.Delete(id)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Errorf("no compactions after 6 deletes with CompactMinDead=2: %+v", st)
+	}
+	var ps ProbeScratch
+	got, err := s.AppendCandidates(nil, []string{"shared token"}, &ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, ids[6:]) {
+		t.Errorf("candidates = %v, want %v", got, ids[6:])
+	}
+
+	// A full sweep drains every remaining tombstone and unindexes tokens
+	// whose postings empty out.
+	for _, id := range ids[6:] {
+		s.Delete(id)
+	}
+	s.Compact()
+	st = s.Stats()
+	if st.Tombstones != 0 {
+		t.Errorf("tombstones = %d after Compact, want 0", st.Tombstones)
+	}
+	if st.Tokens != 0 {
+		t.Errorf("tokens = %d after deleting every record, want 0", st.Tokens)
+	}
+	if st.Added != 10 || st.Deleted != 10 || st.Live != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStatsProbeCounters(t *testing.T) {
+	s := mustStore(t, 1, Config{})
+	s.Add([]string{"alpha beta"})
+	s.Add([]string{"beta gamma"})
+	var ps ProbeScratch
+	for i := 0; i < 3; i++ {
+		if _, err := s.AppendCandidates(nil, []string{"beta"}, &ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Probes != 3 || st.Candidates != 6 {
+		t.Errorf("probes=%d candidates=%d, want 3 and 6", st.Probes, st.Candidates)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	var tk TopK
+	tk.Reset(3)
+	for i, r := range []float64{0.1, 0.9, 0.5, 0.9, 0.2, 0.7} {
+		tk.Offer(Scored{ID: uint64(i), Rank: r})
+	}
+	got := tk.AppendSorted(nil)
+	// Rank desc; the two 0.9 entries tie and break toward the lower ID.
+	want := []Scored{{ID: 1, Rank: 0.9}, {ID: 3, Rank: 0.9}, {ID: 5, Rank: 0.7}}
+	if !slices.Equal(got, want) {
+		t.Errorf("top-3 = %v, want %v", got, want)
+	}
+
+	// Fewer offers than k just returns them all, sorted.
+	tk.Reset(10)
+	tk.Offer(Scored{ID: 0, Rank: 0.2})
+	tk.Offer(Scored{ID: 1, Rank: 0.8})
+	got = tk.AppendSorted(nil)
+	want = []Scored{{ID: 1, Rank: 0.8}, {ID: 0, Rank: 0.2}}
+	if !slices.Equal(got, want) {
+		t.Errorf("under-full top-k = %v, want %v", got, want)
+	}
+}
+
+// TestTopKMatchesSort cross-checks the heap against a full sort on random
+// streams, including heavy rank ties.
+func TestTopKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var tk TopK
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		k := 1 + rng.Intn(8)
+		all := make([]Scored, n)
+		tk.Reset(k)
+		for i := range all {
+			all[i] = Scored{ID: uint64(i), Rank: float64(rng.Intn(5)) / 4}
+			tk.Offer(all[i])
+		}
+		slices.SortFunc(all, func(a, b Scored) int {
+			switch {
+			case b.worse(a):
+				return -1
+			case a.worse(b):
+				return 1
+			}
+			return 0
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.AppendSorted(nil)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d (n=%d k=%d): top-k = %v, want %v", trial, n, k, got, want)
+		}
+	}
+}

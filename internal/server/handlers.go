@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	learnrisk "repro"
+	"repro/internal/match"
 )
 
 // The wire format. Every response is JSON; errors come back as
@@ -87,20 +88,28 @@ const maxBodyBytes = 32 << 20
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/score         score one pair (micro-batched)
-//	POST /v1/score/batch   score a client-assembled batch
-//	POST /v1/explain       score one pair and explain its risk
-//	GET  /v1/model         describe the served model
-//	POST /v1/model/reload  hot-swap the model from an artifact file
-//	GET  /healthz          liveness + served-model fingerprint
+//	POST   /v1/score         score one pair (micro-batched)
+//	POST   /v1/score/batch   score a client-assembled batch
+//	POST   /v1/explain       score one pair and explain its risk
+//	POST   /v1/records       add + index one record in the online store
+//	DELETE /v1/records/{id}  tombstone one record
+//	POST   /v1/resolve       top-k matches for a probe record
+//	GET    /v1/model         describe the served model
+//	POST   /v1/model/reload  hot-swap the model from an artifact file
+//	GET    /healthz          liveness + served-model fingerprint
+//	GET    /readyz           readiness (503 + reason until warm)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/score", s.handleScore)
 	mux.HandleFunc("POST /v1/score/batch", s.handleScoreBatch)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/records", s.handleAddRecord)
+	mux.HandleFunc("DELETE /v1/records/{id}", s.handleDeleteRecord)
+	mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/model/reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -196,6 +205,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is the liveness probe: 200 whenever the process can answer
+// HTTP at all. Readiness (model loaded, warm-load finished) is /readyz's
+// job — conflating the two makes orchestrators restart replicas that are
+// merely still warming.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{
 		"status": "ok",
@@ -226,14 +239,14 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// statusFor maps scoring errors to statuses: malformed pairs (schema
-// arity) are the client's fault; a canceled request maps to the
-// nonstandard 499 convention; everything else is a 500.
+// statusFor maps scoring and resolving errors to statuses: malformed pairs,
+// records and probes (schema arity) are the client's fault; a canceled
+// request maps to the nonstandard 499 convention; everything else is a 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, learnrisk.ErrPairArity):
+	case errors.Is(err, learnrisk.ErrPairArity), errors.Is(err, match.ErrArity):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return 499

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// The online-resolve wire format. Records and probes travel as raw
+// attribute-value slices in the model's schema order, like pairs do.
+
+// RecordRequest is the body of POST /v1/records.
+type RecordRequest struct {
+	Values []string `json:"values"`
+}
+
+// RecordResponse acknowledges an indexed record with its stable ID and the
+// store's live size.
+type RecordResponse struct {
+	ID   uint64 `json:"id"`
+	Live int    `json:"live"`
+}
+
+// DeleteResponse answers DELETE /v1/records/{id}.
+type DeleteResponse struct {
+	ID      uint64 `json:"id"`
+	Deleted bool   `json:"deleted"`
+	Live    int    `json:"live"`
+}
+
+// ResolveRequest is the body of POST /v1/resolve. K defaults to 10 and is
+// capped at maxResolveK.
+type ResolveRequest struct {
+	Values []string `json:"values"`
+	K      int      `json:"k"`
+}
+
+// ResolveMatch is one resolved match: the stored record (ID + values) and
+// the serving-path verdict of the (probe, record) pair.
+type ResolveMatch struct {
+	ID     uint64   `json:"id"`
+	Values []string `json:"values,omitempty"`
+	Prob   float64  `json:"prob"`
+	Match  bool     `json:"match"`
+	Risk   float64  `json:"risk"`
+	Mu     float64  `json:"mu"`
+	Sigma  float64  `json:"sigma"`
+}
+
+// ResolveResponse answers a probe: the k best matches, best first, plus the
+// model snapshot that scored them.
+type ResolveResponse struct {
+	Matches          []ResolveMatch `json:"matches"`
+	ModelFingerprint string         `json:"model_fingerprint"`
+}
+
+// maxResolveK bounds how many matches one probe may request: the top-k heap
+// is per-request state, so the bound keeps a single client from turning a
+// probe into a full-store ranking.
+const maxResolveK = 1000
+
+func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
+	var req RecordRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	id, err := s.AddRecord(req.Values)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecordResponse{ID: id, Live: s.MatchStore().Len()})
+}
+
+func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad record id %q: %w", r.PathValue("id"), err))
+		return
+	}
+	if !s.DeleteRecord(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("record %d not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{ID: id, Deleted: true, Live: s.MatchStore().Len()})
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req ResolveRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 0 || k > maxResolveK {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be in 1..%d, got %d", maxResolveK, k))
+		return
+	}
+	res, st, fp, err := s.Resolve(req.Values, k)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := ResolveResponse{Matches: make([]ResolveMatch, len(res)), ModelFingerprint: fp}
+	for i, mr := range res {
+		rm := ResolveMatch{
+			ID:   mr.ID,
+			Prob: mr.Score.Prob, Match: mr.Score.Match,
+			Risk: mr.Score.Risk, Mu: mr.Score.Mu, Sigma: mr.Score.Sigma,
+		}
+		// st is the snapshot the resolve ran against (never a store a
+		// forced swap published afterwards, whose IDs restart at zero), so
+		// Get can only miss when the record was deleted mid-request; the
+		// verdict still stands for the snapshot the probe saw.
+		if vals, ok := st.Get(mr.ID); ok {
+			rm.Values = vals
+		}
+		resp.Matches[i] = rm
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReadyz is the readiness probe: 200 once a model is served AND any
+// front-end warm-load has finished (SetReady), 503 with the blocking
+// reason before that. Load balancers gate traffic on this; liveness
+// (/healthz) stays green throughout so the process is not restarted for
+// merely being slow to warm.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.Ready(); !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "starting",
+			"reason": reason,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"model":   s.Model().Fingerprint(),
+		"records": s.MatchStore().Len(),
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	learnrisk "repro"
+	"repro/internal/match"
 )
 
 // Sentinel errors the HTTP layer classifies with errors.Is; the wrapped
@@ -42,6 +43,10 @@ type Config struct {
 	// it must not open arbitrary server-side files). With no ModelPath,
 	// path-bearing reloads are refused outright; use Swap from code.
 	ModelPath string
+	// Match configures the online record store behind /v1/records and
+	// /v1/resolve (blocking semantics and maintenance thresholds). The
+	// zero value takes the match package defaults.
+	Match match.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -64,18 +69,43 @@ type Server struct {
 	model   atomic.Pointer[learnrisk.Model]
 	batcher *Batcher
 
+	// store is the online record store + incremental blocking index behind
+	// /v1/records and /v1/resolve. It lives behind its own atomic.Pointer
+	// with the same snapshot discipline as the model: it survives hot-swaps
+	// that keep the schema fingerprint, and is replaced by a fresh empty
+	// store when a forced swap changes the schema (the stored records'
+	// layout would no longer match the served model).
+	store atomic.Pointer[match.Store]
+
+	// notReady carries the readiness gate's reason; nil means ready. The
+	// liveness probe (/healthz) ignores it, the readiness probe (/readyz)
+	// returns 503 with the reason until it clears — cmd/serve holds it
+	// while warm-loading records into the store.
+	notReady atomic.Pointer[string]
+
 	reloadMu sync.Mutex // serializes Swap/Reload (loading is expensive)
 	swaps    atomic.Int64
 	served   atomic.Int64
+	resolves atomic.Int64
 }
 
-// New builds a Server around an already-loaded model.
+// New builds a Server around an already-loaded model. The server starts
+// ready; a front end that warm-loads state first marks itself with
+// SetNotReady until done. New panics on construction-time programmer
+// errors — a nil model, or a Config.Match whose blocking attribute
+// indices fall outside the model's schema (the only invalid match
+// configuration; everything else is defaulted).
 func New(m *learnrisk.Model, cfg Config) *Server {
 	if m == nil {
 		panic("server: New needs a non-nil model")
 	}
 	s := &Server{cfg: cfg.withDefaults()}
 	s.model.Store(m)
+	st, err := m.NewMatchStore(s.cfg.Match)
+	if err != nil {
+		panic("server: invalid match config: " + err.Error())
+	}
+	s.store.Store(st)
 	s.batcher = NewBatcher(&s.model, s.cfg.MaxBatch, s.cfg.MaxLinger)
 	return s
 }
@@ -147,6 +177,11 @@ func (s *Server) Explain(p learnrisk.Pair) (learnrisk.PairScore, []string, strin
 // retrained artifact for the same workload swaps freely, while a model for
 // a different schema would silently invalidate every client's pair layout
 // and is refused. Requests in flight finish on the old snapshot.
+//
+// The online record store survives a swap that keeps the schema
+// fingerprint — the indexed records are still valid probe targets for the
+// retrained model. A forced swap to a different fingerprint replaces it
+// with a fresh empty store: the old records were shaped for the old schema.
 func (s *Server) Swap(next *learnrisk.Model, force bool) error {
 	if next == nil {
 		return fmt.Errorf("server: refusing to swap in a nil model")
@@ -158,9 +193,71 @@ func (s *Server) Swap(next *learnrisk.Model, force bool) error {
 		return fmt.Errorf("%w: new model fingerprint %.12s does not match the served %.12s; a schema change needs force=true",
 			ErrFingerprintConflict, next.Fingerprint(), cur.Fingerprint())
 	}
+	if next.Fingerprint() != cur.Fingerprint() {
+		st, err := next.NewMatchStore(s.cfg.Match)
+		if err != nil {
+			return fmt.Errorf("server: rebuilding the match store for the new schema: %w", err)
+		}
+		// Store first, model second: a Resolve racing the swap then pairs
+		// the old model with the fresh empty store (an arity error or an
+		// empty result) instead of scoring the new model against records
+		// laid out for the old schema.
+		s.store.Store(st)
+	}
 	s.model.Store(next)
 	s.swaps.Add(1)
 	return nil
+}
+
+// MatchStore returns the current online record store snapshot (replaced
+// only by a forced schema-changing swap).
+func (s *Server) MatchStore() *match.Store { return s.store.Load() }
+
+// AddRecord stores and indexes one record in the online store, returning
+// its stable ID.
+func (s *Server) AddRecord(values []string) (uint64, error) {
+	return s.store.Load().Add(values)
+}
+
+// DeleteRecord tombstones one record; false means the ID was unknown or
+// already deleted.
+func (s *Server) DeleteRecord(id uint64) bool {
+	return s.store.Load().Delete(id)
+}
+
+// Resolve finds the k best matches for a probe record among the store's
+// live records on the current model snapshot. It returns the store
+// snapshot the resolve ran against next to the results: record IDs are
+// only meaningful relative to that snapshot (a forced schema swap replaces
+// the store and restarts IDs at zero), so callers rendering record values
+// must fetch them from it, not from a fresh MatchStore() load.
+func (s *Server) Resolve(probe []string, k int) ([]learnrisk.MatchResult, *match.Store, string, error) {
+	m := s.model.Load()
+	st := s.store.Load()
+	res, err := m.Resolve(st, probe, k)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	s.resolves.Add(1)
+	return res, st, m.Fingerprint(), nil
+}
+
+// Resolves returns how many resolve calls the server has answered.
+func (s *Server) Resolves() int64 { return s.resolves.Load() }
+
+// SetNotReady marks the server not ready with a reason; /readyz returns
+// 503 carrying it until SetReady. Liveness (/healthz) is unaffected.
+func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
+
+// SetReady clears the readiness gate.
+func (s *Server) SetReady() { s.notReady.Store(nil) }
+
+// Ready reports the readiness gate and, when not ready, its reason.
+func (s *Server) Ready() (bool, string) {
+	if r := s.notReady.Load(); r != nil {
+		return false, *r
+	}
+	return true, ""
 }
 
 // Reload loads the artifact at path (or the configured ModelPath when path

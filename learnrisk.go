@@ -68,6 +68,29 @@ func (w *Workload) PairValues(i int) (left, right []string) { return w.inner.Val
 // AttrNames returns the schema's attribute names.
 func (w *Workload) AttrNames() []string { return w.inner.Left.Schema.AttrNames() }
 
+// NumLeftRecords returns the size of the workload's left table.
+func (w *Workload) NumLeftRecords() int { return len(w.inner.Left.Records) }
+
+// NumRightRecords returns the size of the workload's right table.
+func (w *Workload) NumRightRecords() int { return len(w.inner.Right.Records) }
+
+// LeftRecordAt returns a copy of the i-th left-table record's raw attribute
+// values plus its entity ID ("" when the dataset carries no ground truth).
+// Together with RightRecordAt it exposes the workload's records to online
+// consumers: the streaming example feeds a match store one record at a time
+// from these and checks resolved matches against the entity IDs.
+func (w *Workload) LeftRecordAt(i int) (values []string, entityID string) {
+	r := w.inner.Left.Records[i]
+	return append([]string(nil), r.Values...), r.EntityID
+}
+
+// RightRecordAt returns a copy of the i-th right-table record's raw
+// attribute values plus its entity ID (see LeftRecordAt).
+func (w *Workload) RightRecordAt(i int) (values []string, entityID string) {
+	r := w.inner.Right.Records[i]
+	return append([]string(nil), r.Values...), r.EntityID
+}
+
 // Generate synthesizes one of the paper's benchmark-shaped workloads
 // ("DS", "AB", "AG", "SG", "DA" — see Table 2) at the given scale
 // (1.0 = full Table 2 size) with a deterministic seed.

@@ -53,6 +53,11 @@ type Model struct {
 	// acquireScratch. The zero value works for both Train- and
 	// Load-constructed models.
 	pool sync.Pool
+
+	// resolvePool holds *resolveScratch instances — a scoreScratch wrapped
+	// with candidate-generation and top-k state for the online resolve path
+	// (resolve.go). Same ownership rules as pool.
+	resolvePool sync.Pool
 }
 
 // scoreScratch is one scoring worker's reusable state: the serving metric

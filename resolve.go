@@ -1,0 +1,157 @@
+package learnrisk
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/match"
+	"repro/internal/par"
+)
+
+// The online resolve path: a trained Model plus a match.Store answer "here
+// is a new record — who does it match?" without batch rebuilds. Candidates
+// come from the store's incremental blocking index, every (probe,
+// candidate) pair is scored through the same pooled zero-allocation scratch
+// Score uses, and a bounded top-k heap keeps only the k best verdicts.
+
+// MatchResult is one resolved match: the stable store ID of the candidate
+// record and the full serving-path verdict of the (probe, candidate) pair.
+// Results rank by classifier probability, ties toward the lower ID.
+type MatchResult struct {
+	ID    uint64
+	Score PairScore
+}
+
+// MatchConfig configures an online match store (blocking semantics and
+// index maintenance). It aliases the implementation's config so callers
+// outside this module can name it — the implementation lives under
+// internal/, which import rules would otherwise make unreachable.
+type MatchConfig = match.Config
+
+// MatchStore is the online record store + incremental blocking index
+// behind Resolve (an alias, see MatchConfig). Safe for concurrent use.
+type MatchStore = match.Store
+
+// NewMatchStore builds an empty online record store bound to the model's
+// schema arity. Records added to it must carry one value per schema
+// attribute, in training order — the same contract as Pair.
+func (m *Model) NewMatchStore(cfg MatchConfig) (*MatchStore, error) {
+	return match.New(len(m.attrs), cfg)
+}
+
+// resolveScratch is one resolve worker's reusable state: the probe scratch
+// of the candidate index, the scoring scratch of the zero-alloc path, the
+// per-probe candidate/score buffers and the bounded top-k heap.
+type resolveScratch struct {
+	ps     match.ProbeScratch
+	ss     *scoreScratch
+	ids    []uint64
+	kept   []uint64
+	scores []PairScore
+	topk   match.TopK
+	sorted []match.Scored
+}
+
+func (m *Model) acquireResolveScratch() *resolveScratch {
+	if s, ok := m.resolvePool.Get().(*resolveScratch); ok {
+		return s
+	}
+	return &resolveScratch{ss: m.acquireScratch()}
+}
+
+// checkResolve validates the store binding and one probe. Probe arity
+// failures wrap ErrPairArity (a client error to serving layers).
+func (m *Model) checkResolve(st *MatchStore, probe []string, k int) error {
+	if st == nil {
+		return errors.New("learnrisk: Resolve needs a match store (build one with NewMatchStore)")
+	}
+	if st.Arity() != len(m.attrs) {
+		return fmt.Errorf("learnrisk: match store arity %d does not match the model schema's %d", st.Arity(), len(m.attrs))
+	}
+	if k <= 0 {
+		return fmt.Errorf("learnrisk: Resolve needs k > 0, got %d", k)
+	}
+	if len(probe) != len(m.attrs) {
+		return fmt.Errorf("learnrisk: probe has %d attribute values, model schema has %d (%s...): %w",
+			len(probe), len(m.attrs), m.attrs[0].Name, ErrPairArity)
+	}
+	return nil
+}
+
+// Resolve finds the k best-scoring matches for one probe record among the
+// store's live records: the incremental blocking index generates the
+// candidate set (identical to a from-scratch batch blocking run over the
+// surviving records), every candidate is risk-scored on the zero-alloc
+// serving path with the probe-side preparation cached across candidates,
+// and a bounded heap keeps the k highest classifier probabilities (ties
+// toward the lower record ID). Fewer than k results means fewer candidates
+// shared enough blocking tokens. Safe for concurrent use, including
+// concurrently with Add/Delete on the store.
+func (m *Model) Resolve(st *MatchStore, probe []string, k int) ([]MatchResult, error) {
+	if err := m.checkResolve(st, probe, k); err != nil {
+		return nil, err
+	}
+	s := m.acquireResolveScratch()
+	out := m.resolveInto(st, probe, k, s)
+	m.resolvePool.Put(s)
+	return out, nil
+}
+
+// ResolveBatch resolves several probes, sharding them across GOMAXPROCS
+// workers (internal/par). Results are in probe order; each entry is exactly
+// what Resolve returns for that probe against the same store snapshot.
+func (m *Model) ResolveBatch(st *MatchStore, probes [][]string, k int) ([][]MatchResult, error) {
+	for i, probe := range probes {
+		if err := m.checkResolve(st, probe, k); err != nil {
+			return nil, fmt.Errorf("probe %d: %w", i, err)
+		}
+	}
+	out := make([][]MatchResult, len(probes))
+	par.ForChunks(len(probes), resolveBatchChunk, func(_, lo, hi int) {
+		s := m.acquireResolveScratch()
+		for i := lo; i < hi; i++ {
+			out[i] = m.resolveInto(st, probes[i], k, s)
+		}
+		m.resolvePool.Put(s)
+	})
+	return out, nil
+}
+
+// resolveBatchChunk is the probe granularity of ResolveBatch workers: one
+// probe fans out into many candidate scorings, so chunks stay small to
+// load-balance skewed candidate counts.
+const resolveBatchChunk = 4
+
+// resolveInto runs one (already-validated) probe inside a scratch.
+func (m *Model) resolveInto(st *MatchStore, probe []string, k int, s *resolveScratch) []MatchResult {
+	var err error
+	s.ids, err = st.AppendCandidates(s.ids[:0], probe, &s.ps)
+	if err != nil {
+		// Unreachable: AppendCandidates' only failure is its arity check,
+		// and checkResolve pinned the probe's arity to the store's before
+		// any resolve work started. The store's arity is immutable.
+		panic("learnrisk: resolve invariant violated: " + err.Error())
+	}
+	s.topk.Reset(k)
+	s.kept = s.kept[:0]
+	s.scores = s.scores[:0]
+	for _, id := range s.ids {
+		vals, ok := st.Get(id)
+		if !ok {
+			continue // deleted between probe and fetch; skip
+		}
+		sc := m.scorePair(Pair{Left: probe, Right: vals}, s.ss)
+		pos := uint64(len(s.scores))
+		s.kept = append(s.kept, id)
+		s.scores = append(s.scores, sc)
+		// Candidates arrive in ascending ID order, so the scratch position
+		// preserves the ID tie-break.
+		s.topk.Offer(match.Scored{ID: pos, Rank: sc.Prob})
+	}
+	s.sorted = s.topk.AppendSorted(s.sorted[:0])
+	out := make([]MatchResult, len(s.sorted))
+	for i, e := range s.sorted {
+		out[i] = MatchResult{ID: s.kept[e.ID], Score: s.scores[e.ID]}
+	}
+	return out
+}
