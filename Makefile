@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples build-cmds vet fmtcheck test race cover allocs tier1 bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5
+.PHONY: build build-examples build-cmds vet fmtcheck test race cover allocs tier1 crash bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5 bench-pr6
 
 build:
 	$(GO) build ./...
@@ -33,18 +33,19 @@ test:
 # pools (disjoint-write contracts), the facade's concurrent serving and
 # resolve paths (Model.Score/ScoreBatch/Resolve from many goroutines while
 # the match store mutates), the online match store itself (concurrent
-# Add/Delete/probe across compaction), and the HTTP serving layer
+# Add/Delete/probe across compaction), the durability layer (concurrent
+# WAL append / snapshot rotation / replay), and the HTTP serving layer
 # (micro-batcher coalescing + model hot-swap under load).
 race:
 	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/...
-	$(GO) test -race ./internal/server/... ./internal/match/...
+	$(GO) test -race ./internal/server/... ./internal/match/... ./internal/wal/...
 	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent|TestResolveConcurrent' .
 
 # cover enforces statement-coverage floors on the serving-grade packages:
 # the HTTP/batching layer, the feature store, and the facade (golden
 # regression + Save/Load property tests live there). Raise the floors as
 # coverage grows; never lower them.
-COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 ./internal/match:80 .:85
+COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 ./internal/match:80 ./internal/wal:85 .:85
 
 cover:
 	@set -e; for pf in $(COVER_FLOORS); do \
@@ -71,6 +72,15 @@ allocs:
 
 # tier1 is the verification gate every PR must keep green (ROADMAP.md).
 tier1: build build-examples build-cmds vet fmtcheck test race cover allocs
+
+# crash runs the durability fault-injection and crash-recovery suites
+# verbosely: torn tails at every byte boundary, bit flips, oversized length
+# claims, failing writers/fsync, kill-between-rotate-and-publish, stale
+# snapshot temp cleanup, damaged snapshots. All of it also runs under
+# `make test`; this is the focused loop while working on recovery code.
+crash:
+	$(GO) test -v -count=1 -run 'Torn|BitFlip|Oversized|ZeroFilled|Failing|Rollback' ./internal/wal/
+	$(GO) test -v -count=1 -run 'Crash|Corrupt|Stale|Damaged|FailingWAL' ./internal/match/
 
 # bench refreshes the "current" section of BENCH_PR1.json with this
 # machine's numbers; bench-baseline records the pre-change numbers before
@@ -103,3 +113,11 @@ bench-pr4-baseline:
 # faster than rebuild; compare the two benchmarks' ns/op.
 bench-pr5:
 	$(GO) run ./cmd/bench -out BENCH_PR5.json -label current -bench OnlineResolve -benchtime 2s
+
+# bench-pr6 refreshes BENCH_PR6.json — the durability layer: restart replay
+# throughput (records/sec) from a pure WAL tail vs from a snapshot, and
+# per-record ingest latency of the in-memory store vs the durable store at
+# fsync=never/always. The mem vs fsync=never gap is the WAL framing
+# overhead; fsync=always buys an fsync-per-ack durability guarantee.
+bench-pr6:
+	$(GO) run ./cmd/bench -out BENCH_PR6.json -label current -bench Durable -benchtime 2s

@@ -19,6 +19,7 @@
 //	POST   /v1/records       {"values": [...]}
 //	DELETE /v1/records/{id}
 //	POST   /v1/resolve       {"values": [...], "k": 5}
+//	POST   /v1/snapshot      cut a durable-store snapshot now (-data-dir only)
 //	GET    /v1/model
 //	POST   /v1/model/reload  {"path": "new.json", "force": false}
 //	GET    /healthz          liveness
@@ -31,14 +32,27 @@
 // background: the listener accepts traffic immediately, /readyz flips to
 // 200 when the index is warm.
 //
+// -data-dir makes the match store durable: every accepted record mutation
+// is framed into a write-ahead log (fsynced per the -fsync policy) before
+// it is applied, periodic snapshots (-snapshot-every) bound replay time,
+// and a restart replays snapshot + log tail to serve the same records with
+// no -records re-ingest. The replay runs in the background; /readyz
+// reports its progress as the not-ready reason and record mutations answer
+// 503 until it finishes. POST /v1/snapshot cuts a snapshot on demand.
+// With a populated -data-dir, -records is skipped (the store already has
+// its records); it seeds only an empty data dir.
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
-// finish (bounded by -shutdown-timeout), then the micro-batcher stops.
+// finish (bounded by -shutdown-timeout), then the micro-batcher stops, and
+// a durable store is closed last — its tail is rolled into a final
+// snapshot, so a clean restart replays zero log frames.
 //
 // -pprof localhost:6060 starts a second, debug-only listener exposing
 // /debug/pprof (CPU/heap/goroutine profiles) and /debug/vars (expvar
 // counters: batcher flushes, batched pairs, mean/max flush size, queue
-// depth, served pairs, model swaps, and the match store's records,
-// tombstones, compactions, resolves and mean candidates per probe). Keep
+// depth, served pairs, model swaps, the match store's records, tombstones,
+// compactions, resolves and mean candidates per probe, and — with
+// -data-dir — wal_stats/snapshot_stats durability counters). Keep
 // it bound to localhost — it is intentionally separate from the
 // client-facing listener.
 package main
@@ -61,6 +75,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/match"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -73,6 +88,9 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "micro-batcher flush size (1 disables coalescing)")
 		maxLinger   = flag.Duration("max-linger", 2*time.Millisecond, "micro-batcher linger before an under-full batch flushes (0 = greedy)")
 		recordsPath = flag.String("records", "", "CSV table (id,entity_id,<values...> with header) to warm-load into the match store; /readyz is 503 until done")
+		dataDir     = flag.String("data-dir", "", "directory for the durable match store (WAL + snapshots); empty keeps the store in-memory only")
+		fsyncFlag   = flag.String("fsync", "always", "WAL fsync policy: always (durable before ack), never, or an interval like 100ms")
+		snapEvery   = flag.Int("snapshot-every", 10000, "logged operations between automatic snapshots (negative disables; snapshots then happen only via POST /v1/snapshot and shutdown)")
 		minShared   = flag.Int("match-min-shared", 0, "blocking tokens a stored record must share with a probe (0 = default 1)")
 		maxBlock    = flag.Int("match-max-block", 0, "stop-token pruning bound for the match index (0 = default 200, negative disables)")
 		pprofAddr   = flag.String("pprof", "", "optional debug listener address (e.g. localhost:6060) exposing /debug/pprof and /debug/vars; empty disables it")
@@ -101,11 +119,27 @@ func main() {
 	})
 	defer srv.Close()
 
-	// Warm-load runs in the background so the listener binds immediately;
-	// /readyz holds 503 until the index is populated (or reports why the
-	// load failed — a replica with a half-empty index must not take
-	// traffic silently).
-	if *recordsPath != "" {
+	// Store warm-up runs in the background so the listener binds
+	// immediately; /readyz holds 503 until the store is populated (or
+	// reports why the warm-up failed — a replica with a half-empty index
+	// must not take traffic silently). With -data-dir the warm-up is the
+	// durable replay (snapshot + WAL tail), optionally followed by a
+	// -records seed when the replayed store came up empty.
+	switch {
+	case *dataDir != "":
+		policy, interval, err := wal.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.SetDurablePending()
+		srv.SetNotReady(fmt.Sprintf("opening durable match store in %s", *dataDir))
+		go openDurableStore(srv, model, *dataDir, *recordsPath, match.DurableOptions{
+			Sync:          policy,
+			SyncInterval:  interval,
+			SnapshotEvery: *snapEvery,
+			Logf:          log.Printf,
+		})
+	case *recordsPath != "":
 		srv.SetNotReady(fmt.Sprintf("warm-loading match records from %s", *recordsPath))
 		go func() {
 			n, err := warmLoadRecords(srv, *recordsPath)
@@ -162,7 +196,64 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
 	}
+	// Ordering matters: the HTTP drain above means no request is mid-mutation,
+	// the batcher drain answers everything already accepted, and only then is
+	// the durable store sealed — its unsnapshotted tail rolls into a final
+	// snapshot so the next start replays zero log frames.
+	srv.Close()
+	if d := srv.Durable(); d != nil {
+		log.Printf("sealing durable store in %s (final snapshot)", d.Dir())
+		if err := d.Close(); err != nil {
+			log.Printf("durable store close: %v", err)
+		}
+	}
 	log.Printf("served %d pairs across %d hot-swaps; bye", srv.Served(), srv.Swaps())
+}
+
+// openDurableStore replays the data dir in the background (the listener is
+// already up; /readyz carries the replay progress), installs the store,
+// and seeds it from recordsPath only when the replay produced an empty
+// store — a populated data dir already holds its records.
+func openDurableStore(srv *server.Server, model *learnrisk.Model, dir, recordsPath string, opts match.DurableOptions) {
+	opts.Progress = func(phase string, done, total int) {
+		if total > 0 {
+			srv.SetNotReady(fmt.Sprintf("replaying durable store: %s %d/%d", phase, done, total))
+		} else {
+			srv.SetNotReady(fmt.Sprintf("replaying durable store: %s %d ops", phase, done))
+		}
+	}
+	d, err := model.OpenDurableMatchStore(dir, srv.MatchStore().Config(), opts)
+	if err != nil {
+		// The replica must not take traffic with its records missing, and
+		// mutations stay refused (the pending gate holds): an operator
+		// decision is needed, not a silently empty store.
+		log.Printf("durable store: %v", err)
+		srv.SetNotReady(fmt.Sprintf("durable store open failed: %v", err))
+		return
+	}
+	rs := d.ReplayStats()
+	log.Printf("durable store %s: %d records from snapshot %d + %d tail ops (%d segments, torn=%v) in %s",
+		dir, rs.SnapshotRecords, rs.SnapshotSeq, rs.TailFrames, rs.Segments, rs.TornTail, rs.Duration)
+	if err := srv.InstallDurableStore(d); err != nil {
+		log.Printf("durable store: %v", err)
+		srv.SetNotReady(fmt.Sprintf("durable store install failed: %v", err))
+		return
+	}
+	if recordsPath != "" {
+		if d.Len() > 0 {
+			log.Printf("skipping -records %s: the durable store already holds %d records", recordsPath, d.Len())
+		} else {
+			srv.SetNotReady(fmt.Sprintf("seeding durable store from %s", recordsPath))
+			n, err := warmLoadRecords(srv, recordsPath)
+			if err != nil {
+				log.Printf("warm-load: %v", err)
+				srv.SetNotReady(fmt.Sprintf("warm-load of %s failed: %v", recordsPath, err))
+				return
+			}
+			log.Printf("seeded %d records into the durable store", n)
+		}
+	}
+	srv.SetReady()
 }
 
 // publishDebugVars exports the micro-batcher's coalescing counters and the
@@ -210,6 +301,46 @@ func publishDebugVars(srv *server.Server) {
 			"probes":                    st.Probes,
 			"resolves":                  srv.Resolves(),
 			"mean_candidates_per_probe": mean,
+		}
+	}))
+
+	// Durability counters, one consistent DurableStats sweep per scrape.
+	// Published even on an in-memory server (as {"enabled": false}) so
+	// dashboards can tell "no durability" from "metric missing".
+	expvar.Publish("wal_stats", expvar.Func(func() any {
+		d := srv.Durable()
+		if d == nil {
+			return map[string]any{"enabled": false}
+		}
+		st := d.DurableStats()
+		return map[string]any{
+			"enabled":       true,
+			"dir":           st.Dir,
+			"segment_seq":   st.WALSeq,
+			"segment_bytes": st.WALSegmentBytes,
+			"appends":       st.WALAppends,
+			"bytes":         st.WALBytes,
+			"syncs":         st.WALSyncs,
+			"tail_ops":      st.TailOps,
+		}
+	}))
+	expvar.Publish("snapshot_stats", expvar.Func(func() any {
+		d := srv.Durable()
+		if d == nil {
+			return map[string]any{"enabled": false}
+		}
+		st := d.DurableStats()
+		return map[string]any{
+			"enabled":             true,
+			"snapshots":           st.Snapshots,
+			"last_seq":            st.SnapshotSeq,
+			"last_records":        st.SnapshotRecords,
+			"last_bytes":          st.SnapshotBytes,
+			"last_millis":         st.SnapshotMillis,
+			"replay_tail_frames":  st.Replay.TailFrames,
+			"replay_snapshot_rec": st.Replay.SnapshotRecords,
+			"replay_torn_tail":    st.Replay.TornTail,
+			"replay_millis":       st.Replay.Duration.Milliseconds(),
 		}
 	}))
 }

@@ -226,8 +226,37 @@ func (s *Store) Add(values []string) (uint64, error) {
 	if len(values) != s.arity {
 		return 0, fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), s.arity, ErrArity)
 	}
+	id := s.reserveID()
+	if err := s.addAt(id, values); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// reserveID allocates the next stable record ID. IDs are never reused —
+// the durable layer logs them, and a reused ID would make a replayed
+// delete ambiguous.
+func (s *Store) reserveID() uint64 { return s.nextID.Add(1) - 1 }
+
+// advanceNextID raises the ID allocator to at least next, so records
+// re-installed by replay never collide with IDs handed out afterwards.
+func (s *Store) advanceNextID(next uint64) {
+	for {
+		cur := s.nextID.Load()
+		if cur >= next || s.nextID.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// addAt installs a record under a caller-chosen ID: the write half of Add,
+// and the replay path of the durable layer (which must restore the exact
+// IDs the log recorded). The caller guarantees the ID is unused.
+func (s *Store) addAt(id uint64, values []string) error {
+	if len(values) != s.arity {
+		return fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), s.arity, ErrArity)
+	}
 	vals := slices.Clone(values)
-	id := s.nextID.Add(1) - 1
 	rs := s.recShardOf(id)
 	rs.op.Lock()
 	defer rs.op.Unlock()
@@ -250,7 +279,7 @@ func (s *Store) Add(values []string) (uint64, error) {
 	}
 	s.addPool.Put(a)
 	s.adds.Add(1)
-	return id, nil
+	return nil
 }
 
 // Delete removes the record: it leaves the ID map immediately (Get and

@@ -94,6 +94,7 @@ const maxBodyBytes = 32 << 20
 //	POST   /v1/records       add + index one record in the online store
 //	DELETE /v1/records/{id}  tombstone one record
 //	POST   /v1/resolve       top-k matches for a probe record
+//	POST   /v1/snapshot      cut a durable-store snapshot now (admin)
 //	GET    /v1/model         describe the served model
 //	POST   /v1/model/reload  hot-swap the model from an artifact file
 //	GET    /healthz          liveness + served-model fingerprint
@@ -106,6 +107,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/records", s.handleAddRecord)
 	mux.HandleFunc("DELETE /v1/records/{id}", s.handleDeleteRecord)
 	mux.HandleFunc("POST /v1/resolve", s.handleResolve)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/model/reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -188,7 +190,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
-		case errors.Is(err, ErrFingerprintConflict):
+		case errors.Is(err, ErrFingerprintConflict), errors.Is(err, ErrDurableSchemaSwap):
 			status = http.StatusConflict
 		case errors.Is(err, ErrNoArtifactPath):
 			status = http.StatusBadRequest
@@ -244,7 +246,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 // request maps to the nonstandard 499 convention; everything else is a 500.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrStoreLoading):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoDurableStore):
+		return http.StatusConflict
+	case errors.Is(err, match.ErrDurableClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, learnrisk.ErrPairArity), errors.Is(err, match.ErrArity):
 		return http.StatusBadRequest

@@ -54,6 +54,15 @@ type ResolveResponse struct {
 	ModelFingerprint string         `json:"model_fingerprint"`
 }
 
+// SnapshotResponse answers POST /v1/snapshot: the durable-store snapshot
+// that was just cut and published.
+type SnapshotResponse struct {
+	Seq     uint64 `json:"seq"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	Millis  int64  `json:"millis"`
+}
+
 // maxResolveK bounds how many matches one probe may request: the top-k heap
 // is per-request state, so the bound keeps a single client from turning a
 // probe into a full-store ranking.
@@ -78,7 +87,12 @@ func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad record id %q: %w", r.PathValue("id"), err))
 		return
 	}
-	if !s.DeleteRecord(id) {
+	ok, err := s.DeleteRecord(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("record %d not found", id))
 		return
 	}
@@ -120,6 +134,23 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		resp.Matches[i] = rm
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot is the admin trigger for a durable-store snapshot (cut
+// the surviving record set to disk now and truncate the covered log). 409
+// on an in-memory server, 503 while the durable store is still replaying.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := s.TriggerSnapshot()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Seq:     info.Seq,
+		Records: info.Records,
+		Bytes:   info.Bytes,
+		Millis:  info.Duration.Milliseconds(),
+	})
 }
 
 // handleReadyz is the readiness probe: 200 once a model is served AND any

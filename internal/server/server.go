@@ -24,6 +24,18 @@ var (
 	// ErrPathOutsideArtifactDir marks a reload path outside the directory
 	// of the configured artifact.
 	ErrPathOutsideArtifactDir = errors.New("server: reload path outside the artifact directory")
+	// ErrStoreLoading marks record mutations and snapshot triggers that
+	// arrive while the durable store is still replaying its log (503: retry
+	// once /readyz clears).
+	ErrStoreLoading = errors.New("server: record store is still loading")
+	// ErrNoDurableStore marks snapshot triggers on a server running with a
+	// purely in-memory store (no -data-dir).
+	ErrNoDurableStore = errors.New("server: no durable store configured")
+	// ErrDurableSchemaSwap marks a refused forced schema-changing swap on a
+	// server with a durable record store: the on-disk records are shaped for
+	// the served schema, and silently starting an empty store would orphan
+	// them. Restart with a fresh -data-dir to change schemas.
+	ErrDurableSchemaSwap = errors.New("server: schema-changing swap refused with a durable record store")
 )
 
 // Config sizes the serving front end. The zero value takes the defaults.
@@ -76,6 +88,15 @@ type Server struct {
 	// store when a forced swap changes the schema (the stored records'
 	// layout would no longer match the served model).
 	store atomic.Pointer[match.Store]
+
+	// durable, when set, is the durability layer wrapped around the served
+	// store: mutations route through it (WAL-before-apply), reads keep
+	// hitting the embedded Store via the pointer above. durablePending is
+	// the startup window where cmd/serve is still replaying the data dir in
+	// the background: mutations are refused with ErrStoreLoading rather
+	// than silently landing in the in-memory store the replay will replace.
+	durable        atomic.Pointer[match.DurableStore]
+	durablePending atomic.Bool
 
 	// notReady carries the readiness gate's reason; nil means ready. The
 	// liveness probe (/healthz) ignores it, the readiness probe (/readyz)
@@ -182,6 +203,9 @@ func (s *Server) Explain(p learnrisk.Pair) (learnrisk.PairScore, []string, strin
 // fingerprint — the indexed records are still valid probe targets for the
 // retrained model. A forced swap to a different fingerprint replaces it
 // with a fresh empty store: the old records were shaped for the old schema.
+// With a durable store that replacement is refused (ErrDurableSchemaSwap):
+// the on-disk records would be orphaned; change schemas by restarting with
+// a fresh data dir.
 func (s *Server) Swap(next *learnrisk.Model, force bool) error {
 	if next == nil {
 		return fmt.Errorf("server: refusing to swap in a nil model")
@@ -194,6 +218,13 @@ func (s *Server) Swap(next *learnrisk.Model, force bool) error {
 			ErrFingerprintConflict, next.Fingerprint(), cur.Fingerprint())
 	}
 	if next.Fingerprint() != cur.Fingerprint() {
+		if s.durable.Load() != nil || s.durablePending.Load() {
+			// The data dir holds records shaped for the served schema;
+			// replacing them with a fresh empty in-memory store would orphan
+			// the durable state while leaving it on disk to replay — and
+			// conflict — at the next restart.
+			return fmt.Errorf("%w: the data dir's records are shaped for fingerprint %.12s", ErrDurableSchemaSwap, cur.Fingerprint())
+		}
 		st, err := next.NewMatchStore(s.cfg.Match)
 		if err != nil {
 			return fmt.Errorf("server: rebuilding the match store for the new schema: %w", err)
@@ -213,16 +244,75 @@ func (s *Server) Swap(next *learnrisk.Model, force bool) error {
 // only by a forced schema-changing swap).
 func (s *Server) MatchStore() *match.Store { return s.store.Load() }
 
+// SetDurablePending opens the startup window where the durable store is
+// still replaying in the background: record mutations are refused with
+// ErrStoreLoading (they must not land in the in-memory store the replay
+// will replace), reads and scoring keep working.
+func (s *Server) SetDurablePending() { s.durablePending.Store(true) }
+
+// AbandonDurablePending closes that window without installing a store
+// (the open failed; cmd/serve is exiting). Mutations fall back to the
+// in-memory store.
+func (s *Server) AbandonDurablePending() { s.durablePending.Store(false) }
+
+// InstallDurableStore publishes a replayed durable store: reads and
+// resolves serve its records immediately, and every later mutation goes
+// through its log. The store must match the served schema's arity.
+func (s *Server) InstallDurableStore(d *match.DurableStore) error {
+	if d == nil {
+		return fmt.Errorf("server: refusing to install a nil durable store")
+	}
+	if want := s.store.Load().Arity(); d.Arity() != want {
+		return fmt.Errorf("server: durable store arity %d does not match the served schema's %d", d.Arity(), want)
+	}
+	// Store first, durable second: a mutation racing the install either
+	// sees durable==nil and is refused by the pending gate, or sees the
+	// durable layer — never the bare replayed store.
+	s.store.Store(d.Store)
+	s.durable.Store(d)
+	s.durablePending.Store(false)
+	return nil
+}
+
+// Durable returns the durability layer, or nil on an in-memory server.
+func (s *Server) Durable() *match.DurableStore { return s.durable.Load() }
+
 // AddRecord stores and indexes one record in the online store, returning
-// its stable ID.
+// its stable ID. With a durable store the record is logged (and, under
+// fsync=always, on disk) before the call returns.
 func (s *Server) AddRecord(values []string) (uint64, error) {
+	if d := s.durable.Load(); d != nil {
+		return d.Add(values)
+	}
+	if s.durablePending.Load() {
+		return 0, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
+	}
 	return s.store.Load().Add(values)
 }
 
 // DeleteRecord tombstones one record; false means the ID was unknown or
-// already deleted.
-func (s *Server) DeleteRecord(id uint64) bool {
-	return s.store.Load().Delete(id)
+// already deleted. Durable deletes are logged before they apply.
+func (s *Server) DeleteRecord(id uint64) (bool, error) {
+	if d := s.durable.Load(); d != nil {
+		return d.Delete(id)
+	}
+	if s.durablePending.Load() {
+		return false, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
+	}
+	return s.store.Load().Delete(id), nil
+}
+
+// TriggerSnapshot cuts a durable-store snapshot now (the POST /v1/snapshot
+// admin endpoint): the live record set is written and fsynced, and the log
+// history it covers is truncated.
+func (s *Server) TriggerSnapshot() (match.SnapshotInfo, error) {
+	if d := s.durable.Load(); d != nil {
+		return d.Snapshot()
+	}
+	if s.durablePending.Load() {
+		return match.SnapshotInfo{}, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
+	}
+	return match.SnapshotInfo{}, ErrNoDurableStore
 }
 
 // Resolve finds the k best matches for a probe record among the store's

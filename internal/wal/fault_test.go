@@ -1,0 +1,302 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The fault matrix: every way a log can be damaged, and what recovery the
+// package promises for each. Truncations and checksum failures confined to
+// the final frame are torn tails — dropped, prefix intact. Damage with
+// acknowledged frames after it is mid-log corruption — a loud ErrCorrupt,
+// never a silent drop.
+
+// buildLog writes n random frames and returns the payloads plus the raw
+// file bytes and per-frame end offsets.
+func buildLog(t *testing.T, path string, n int, seed int64) (payloads [][]byte, raw []byte, ends []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	payloads = randPayloads(rng, n)
+	w, err := OpenFileWriter(path, 0, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, w.Offset())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payloads, raw, ends
+}
+
+// scanRaw replays a damaged in-memory image the way ScanFile would: torn
+// tails are reported in the result, everything else is the error.
+func scanRaw(raw []byte) (frames int, res ScanResult, err error) {
+	sc := NewScanner(bytes.NewReader(raw))
+	for {
+		_, err := sc.Next()
+		res.Size = sc.Offset()
+		switch {
+		case err == nil:
+			frames++
+			res.Frames++
+		case errors.Is(err, io.EOF):
+			return frames, res, nil
+		case errors.Is(err, ErrTornTail):
+			res.Torn, res.Reason = true, err.Error()
+			return frames, res, nil
+		default:
+			return frames, res, err
+		}
+	}
+}
+
+// TestTornTailAtEveryByte cuts the log at every byte boundary of the final
+// frame (and a few boundaries before it): the scan must recover exactly
+// the complete-frame prefix, flag the tear, and never error.
+func TestTornTailAtEveryByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	_, raw, ends := buildLog(t, path, 12, 3)
+	lastStart := ends[len(ends)-2]
+	for cut := lastStart; cut < int64(len(raw)); cut++ {
+		frames, res, err := scanRaw(raw[:cut])
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if frames != len(ends)-1 {
+			t.Fatalf("cut at %d: recovered %d frames, want %d", cut, frames, len(ends)-1)
+		}
+		if cut == lastStart {
+			if res.Torn {
+				t.Fatalf("cut exactly at a frame boundary flagged torn")
+			}
+		} else if !res.Torn {
+			t.Fatalf("cut at %d not flagged torn", cut)
+		}
+		if res.Size != lastStart {
+			t.Fatalf("cut at %d: truncation point %d, want %d", cut, res.Size, lastStart)
+		}
+	}
+	// The untouched log replays whole.
+	frames, res, err := scanRaw(raw)
+	if err != nil || res.Torn || frames != len(ends) {
+		t.Fatalf("intact log: frames=%d torn=%v err=%v", frames, res.Torn, err)
+	}
+}
+
+// TestBitFlipFinalFrameIsTorn flips every payload/CRC byte of the final
+// frame: checksum fails at end-of-log, so the frame is dropped as torn.
+func TestBitFlipFinalFrameIsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	_, raw, ends := buildLog(t, path, 8, 4)
+	lastStart := ends[len(ends)-2]
+	for off := lastStart + headerSize - 4; off < int64(len(raw)); off++ { // CRC field + payload
+		img := bytes.Clone(raw)
+		img[off] ^= 0x40
+		frames, res, err := scanRaw(img)
+		if err != nil {
+			t.Fatalf("flip at %d: %v", off, err)
+		}
+		if !res.Torn || frames != len(ends)-1 {
+			t.Fatalf("flip at %d: frames=%d torn=%v, want prefix + torn", off, frames, res.Torn)
+		}
+	}
+}
+
+// TestBitFlipMidLogIsCorrupt flips bytes in a non-final frame: the scan
+// must hard-fail with ErrCorrupt, not silently drop acknowledged history.
+func TestBitFlipMidLogIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	_, raw, ends := buildLog(t, path, 8, 5)
+	// Flip one payload byte in each of the first three frames.
+	for i := 0; i < 3; i++ {
+		start := int64(0)
+		if i > 0 {
+			start = ends[i-1]
+		}
+		img := bytes.Clone(raw)
+		img[start+headerSize] ^= 0x01 // first payload byte
+		_, _, err := scanRaw(img)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("mid-log flip in frame %d: err=%v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// TestOversizedLengthClaims: frames are written with one sequential Write,
+// so a complete header with an impossible length is bit rot, not a torn
+// write — it hard-fails wherever it sits, final frame included.
+func TestOversizedLengthClaims(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	_, raw, ends := buildLog(t, path, 4, 6)
+	lastStart := ends[len(ends)-2]
+
+	img := bytes.Clone(raw)
+	img[lastStart+3] = 0xFF // final frame now claims a ~4GB payload
+	if _, _, err := scanRaw(img); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized final length: err=%v, want ErrCorrupt", err)
+	}
+
+	img = bytes.Clone(raw)
+	img[3] = 0xFF // first frame claims ~4GB but the log continues underneath
+	if _, _, err := scanRaw(img); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized mid-log length: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestZeroFilledTail: a tail of zero bytes (preallocation, partial page
+// writeback) parses as a zero-length frame and is dropped as torn.
+func TestZeroFilledTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	_, raw, ends := buildLog(t, path, 4, 7)
+	img := append(bytes.Clone(raw), make([]byte, 32)...)
+	frames, res, err := scanRaw(img)
+	if err != nil || !res.Torn || frames != len(ends) {
+		t.Fatalf("zero tail: frames=%d torn=%v err=%v", frames, res.Torn, err)
+	}
+	if res.Size != int64(len(raw)) {
+		t.Fatalf("zero tail truncation point %d, want %d", res.Size, len(raw))
+	}
+}
+
+// failingFile injects write and sync failures after a budget of successful
+// bytes. It supports rollback (Truncate/Seek) only when rollback is set,
+// covering both writer recovery paths.
+type failingFile struct {
+	buf        bytes.Buffer
+	budget     int // bytes accepted before failures start
+	failSync   bool
+	shortWrite bool // fail by writing a partial frame, not erroring cleanly
+}
+
+func (f *failingFile) Write(p []byte) (int, error) {
+	if f.buf.Len()+len(p) > f.budget {
+		if f.shortWrite && f.budget > f.buf.Len() {
+			n := f.budget - f.buf.Len()
+			f.buf.Write(p[:n])
+			return n, errors.New("disk full (partial frame)")
+		}
+		return 0, errors.New("disk full")
+	}
+	return f.buf.Write(p)
+}
+
+func (f *failingFile) Sync() error {
+	if f.failSync {
+		return errors.New("fsync: I/O error")
+	}
+	return nil
+}
+
+// TestFailingWriterPoisonsButNeverCorrupts drives appends into a writer
+// whose device fails mid-stream: the writer reports the error, refuses
+// further appends, and whatever reached the "disk" replays as a valid
+// prefix (possibly with a torn tail) — never as mid-log corruption.
+func TestFailingWriterPoisonsButNeverCorrupts(t *testing.T) {
+	for _, short := range []bool{false, true} {
+		f := &failingFile{budget: 100, shortWrite: short}
+		w := NewWriter(f, 0, Options{Policy: SyncNever})
+		var appended int
+		var appendErr error
+		for i := 0; i < 50; i++ {
+			if err := w.Append([]byte("payload-payload-payload")); err != nil {
+				appendErr = err
+				break
+			}
+			appended++
+		}
+		if appendErr == nil {
+			t.Fatalf("short=%v: no append failed within budget", short)
+		}
+		if err := w.Append([]byte("after")); err == nil {
+			t.Fatalf("short=%v: append after failure accepted (writer not poisoned)", short)
+		}
+		frames, res, err := scanRaw(f.buf.Bytes())
+		if err != nil {
+			t.Fatalf("short=%v: replay of the failed device: %v", short, err)
+		}
+		if frames != appended {
+			t.Fatalf("short=%v: device replays %d frames, %d were acknowledged", short, frames, appended)
+		}
+		if short && !res.Torn {
+			t.Fatalf("short write left no detectable torn tail")
+		}
+	}
+}
+
+// TestFailingSyncPoisonsSyncAlways: under SyncAlways a failed fsync means
+// the acknowledged-durable contract broke — the writer must refuse to
+// acknowledge that append or any later one.
+func TestFailingSyncPoisonsSyncAlways(t *testing.T) {
+	f := &failingFile{budget: 1 << 20, failSync: true}
+	w := NewWriter(f, 0, Options{Policy: SyncAlways})
+	if err := w.Append([]byte("x")); err == nil {
+		t.Fatal("append acknowledged despite failed fsync")
+	}
+	if err := w.Append([]byte("y")); err == nil {
+		t.Fatal("writer not poisoned after failed fsync")
+	}
+}
+
+// TestFileRollbackKeepsWriterUsable: an *os.File supports Truncate, so a
+// clean write error rolls the file back to the frame boundary and the
+// writer stays usable once the device recovers.
+func TestFileRollbackKeepsWriterUsable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := &flakyOSFile{File: f, failNext: false}
+	w := NewWriter(ff, 0, Options{Policy: SyncNever})
+	if err := w.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	ff.failNext = true
+	if err := w.Append([]byte("second")); err == nil {
+		t.Fatal("failed write acknowledged")
+	}
+	if err := w.Append([]byte("third")); err != nil {
+		t.Fatalf("writer unusable after rollback: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	res, err := ScanFile(path, func(p []byte) error { got = append(got, bytes.Clone(p)); return nil })
+	if err != nil || res.Torn {
+		t.Fatalf("scan: %+v, %v", res, err)
+	}
+	if len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "third" {
+		t.Fatalf("replayed %q, want [first third]", got)
+	}
+}
+
+// flakyOSFile passes through to a real file but injects one partial write
+// on demand (the partial bytes DO land on disk, like a torn sector).
+type flakyOSFile struct {
+	*os.File
+	failNext bool
+}
+
+func (f *flakyOSFile) Write(p []byte) (int, error) {
+	if f.failNext {
+		f.failNext = false
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, errors.New("injected partial write")
+	}
+	return f.File.Write(p)
+}

@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Scanner reads frames back in append order and classifies damage (see the
+// package comment for the torn-tail vs mid-log contract). Not safe for
+// concurrent use.
+type Scanner struct {
+	br      *bufio.Reader
+	off     int64 // end of the last good frame
+	payload []byte
+	err     error // sticky terminal state
+}
+
+// NewScanner reads frames from r (typically an *os.File at offset 0).
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Offset returns the byte offset just past the last successfully returned
+// frame — the truncation point that drops a torn tail.
+func (s *Scanner) Offset() int64 { return s.off }
+
+// Next returns the next frame's payload, valid until the following Next
+// call. It returns io.EOF at a clean end of log, ErrTornTail (wrapped with
+// detail) for an incomplete final frame, and ErrCorrupt (wrapped) for
+// damage that cannot be the tail. After any non-nil error the Scanner
+// stays in that state.
+func (s *Scanner) Next() ([]byte, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	payload, err := s.next()
+	if err != nil {
+		s.err = err
+	}
+	return payload, err
+}
+
+func (s *Scanner) next() ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean end: zero bytes after the last frame
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: %d-byte partial header at offset %d", ErrTornTail, remainder(s.br), s.off)
+		}
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+
+	if length == 0 {
+		// Appends never frame an empty payload, but a crash can leave a
+		// zero-filled tail: some filesystems extend the file's size before
+		// the data writeback lands, so the lost bytes read back as zeros.
+		// That tail is torn — but only if it really is all zeros (header
+		// included); a zero length with live bytes after it is damage.
+		if wantCRC == 0 && restIsZeros(s.br) {
+			return nil, fmt.Errorf("%w: zero-filled tail at offset %d", ErrTornTail, s.off)
+		}
+		return nil, fmt.Errorf("%w: zero-length frame at offset %d followed by data", ErrCorrupt, s.off)
+	}
+	if length > MaxFrame {
+		// The writer issues each frame as one sequential write, so a torn
+		// write leaves a short header, never a complete header with an
+		// impossible length — this is bit rot, and it hard-fails even in
+		// the final frame rather than guessing at a truncation point.
+		return nil, fmt.Errorf("%w: frame at offset %d claims %d bytes (frame bound %d)", ErrCorrupt, s.off, length, MaxFrame)
+	}
+
+	if cap(s.payload) < int(length) {
+		s.payload = make([]byte, length)
+	}
+	s.payload = s.payload[:length]
+	if n, err := io.ReadFull(s.br, s.payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: frame at offset %d has %d of %d payload bytes", ErrTornTail, s.off, n, length)
+		}
+		return nil, err
+	}
+	if got := crc32.Checksum(s.payload, castagnoli); got != wantCRC {
+		// A checksum failure on the very last frame is a torn write; the
+		// same failure with acknowledged frames after it is corruption.
+		if _, err := s.br.Peek(1); err == io.EOF {
+			return nil, fmt.Errorf("%w: final frame at offset %d fails its checksum (got %08x, frame says %08x)", ErrTornTail, s.off, got, wantCRC)
+		}
+		return nil, fmt.Errorf("%w: frame at offset %d fails its checksum (got %08x, frame says %08x) with frames after it", ErrCorrupt, s.off, got, wantCRC)
+	}
+	s.off += int64(headerSize) + int64(length)
+	return s.payload, nil
+}
+
+// remainder reports how many buffered bytes a partial read left behind
+// (detail for torn-tail messages only).
+func remainder(br *bufio.Reader) int { return br.Buffered() }
+
+// restIsZeros reports whether every remaining byte of the stream is zero
+// (consuming them).
+func restIsZeros(br *bufio.Reader) bool {
+	zeros := true
+	var buf [4096]byte
+	for {
+		n, err := br.Read(buf[:])
+		for _, b := range buf[:n] {
+			if b != 0 {
+				zeros = false
+			}
+		}
+		if err != nil {
+			return zeros
+		}
+	}
+}
+
+// ScanResult summarizes one log file's replay.
+type ScanResult struct {
+	Frames int    // complete frames delivered
+	Size   int64  // bytes of complete frames (the torn-tail truncation point)
+	Torn   bool   // a torn final frame was found (and not delivered)
+	Reason string // detail of the torn tail, empty otherwise
+}
+
+// ScanFile replays every complete frame of the log at path through fn,
+// tolerating a torn final frame (reported in the result, not as an error).
+// Mid-log corruption, fn errors and I/O errors abort the scan. A missing
+// file is an empty log.
+func ScanFile(path string, fn func(payload []byte) error) (ScanResult, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return ScanResult{}, nil
+	}
+	if err != nil {
+		return ScanResult{}, err
+	}
+	defer f.Close()
+	var res ScanResult
+	sc := NewScanner(f)
+	for {
+		payload, err := sc.Next()
+		res.Size = sc.Offset()
+		switch {
+		case err == nil:
+			if err := fn(payload); err != nil {
+				return res, err
+			}
+			res.Frames++
+		case errors.Is(err, io.EOF):
+			return res, nil
+		case errors.Is(err, ErrTornTail):
+			res.Torn, res.Reason = true, err.Error()
+			return res, nil
+		default:
+			return res, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+}
+
+// OpenFileWriter opens (creating if needed) the log at path for appending
+// after its last complete frame: validSize bytes — a prior ScanFile's
+// Size — survive, anything after them (a torn tail) is truncated away.
+// The returned Writer owns the file.
+func OpenFileWriter(path string, validSize int64, opts Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, err
+	} else if fi.Size() > validSize {
+		if err := f.Truncate(validSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncating torn tail of %s to %d bytes: %w", path, validSize, err)
+		}
+	} else if fi.Size() < validSize {
+		f.Close()
+		return nil, fmt.Errorf("wal: %s is %d bytes, shorter than its %d validated bytes", path, fi.Size(), validSize)
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return NewWriter(f, validSize, opts), nil
+}

@@ -1,0 +1,308 @@
+// Package wal is a checksummed, length-prefixed append-only log — the
+// durability primitive under the online match store. It deliberately knows
+// nothing about what the frames mean: callers append opaque payloads, a
+// Scanner hands them back in order, and the two agree on exactly one
+// on-disk format:
+//
+//	frame := [4B payload length, little endian] [4B CRC32-Castagnoli of payload] [payload]
+//
+// The recovery contract is asymmetric on purpose, mirroring how real logs
+// die. A crash mid-append leaves a *torn tail* — a final frame whose bytes
+// never fully reached the disk (short header, short payload, or a checksum
+// that no longer matches with nothing after it). Torn tails are expected
+// and safe to drop: the operation they carried was never acknowledged as
+// durable. Corruption *in the middle* of the log is different — frames
+// after the damage were acknowledged, so dropping the damaged frame would
+// silently unwind history. The Scanner therefore reports the two cases as
+// distinct errors: ErrTornTail (recoverable, truncate and continue) and
+// ErrCorrupt (hard failure, refuse to guess).
+//
+// One ambiguity is unavoidable: a corrupted *length field* in the final
+// frame can make the tail look like mid-log damage (the misread length
+// frames up garbage that is followed by more bytes). The Scanner resolves
+// it conservatively — when in doubt it fails loudly with ErrCorrupt rather
+// than silently discarding bytes that might be acknowledged history.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxFrame bounds one frame's payload (16 MiB). Appends beyond it are
+// refused; a scanned length beyond it is corruption (or a torn tail, when
+// the oversized claim runs past the end of the log).
+const MaxFrame = 16 << 20
+
+const headerSize = 8 // 4B length + 4B CRC
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors, classified with errors.Is.
+var (
+	// ErrTornTail marks an incomplete or checksum-failing final frame: the
+	// write it belonged to never completed, so the caller should drop it
+	// (truncate to Scanner.Offset) and carry on.
+	ErrTornTail = errors.New("wal: torn final frame")
+	// ErrCorrupt marks damage in the middle of the log — acknowledged
+	// frames follow the damage, so no safe recovery exists.
+	ErrCorrupt = errors.New("wal: corrupt frame mid-log")
+	// ErrClosed marks appends after Close.
+	ErrClosed = errors.New("wal: writer is closed")
+)
+
+// SyncPolicy is when appended frames are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged operation is
+	// durable, at per-op fsync cost.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.Interval): a
+	// crash loses at most one interval of acknowledged operations.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache: fastest, loses
+	// whatever the kernel had not written back.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy reads a -fsync flag value: "always", "never", or a
+// duration ("100ms") selecting SyncInterval at that cadence.
+func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch s {
+	case "always":
+		return SyncAlways, 0, nil
+	case "never":
+		return SyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("wal: fsync policy %q is not \"always\", \"never\" or a positive duration", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Options configures a Writer. The zero value is SyncAlways.
+type Options struct {
+	Policy SyncPolicy
+	// Interval is the SyncInterval cadence (default 100ms; ignored by the
+	// other policies).
+	Interval time.Duration
+}
+
+// File is a Writer's destination: an *os.File in production, a
+// fault-injecting stub in tests. When the concrete value also implements
+// io.Closer, Writer.Close closes it.
+type File interface {
+	io.Writer
+	Sync() error
+}
+
+// Writer appends frames to a File. Safe for concurrent use; each Append is
+// one atomic frame (assembled in a scratch buffer and issued as a single
+// Write call, so a failing writer never interleaves half-frames from two
+// goroutines).
+//
+// Failed appends are sticky: a short or failed Write may have left a
+// partial frame on disk, and nothing after it could be framed correctly,
+// so the Writer refuses further appends with the original error. If the
+// File supports Truncate (an *os.File does), the Writer first tries to
+// roll the file back to the last good frame boundary and, on success,
+// stays usable.
+type Writer struct {
+	mu     sync.Mutex
+	f      File
+	buf    []byte
+	off    int64 // bytes of complete frames successfully written
+	err    error // sticky append failure
+	always bool  // SyncAlways: fsync inside every Append
+	dirty  atomic.Bool
+
+	appends atomic.Int64
+	bytes   atomic.Int64
+	syncs   atomic.Int64
+
+	stop chan struct{} // interval-sync loop shutdown; nil unless SyncInterval
+	done sync.WaitGroup
+}
+
+// truncater is the optional rollback capability of a File (see Writer).
+type truncater interface {
+	Truncate(size int64) error
+	io.Seeker
+}
+
+// NewWriter wraps an empty or frame-aligned File positioned at off bytes
+// (0 for a fresh file; Scanner.Offset after a replay). The caller must not
+// write to f directly afterwards.
+func NewWriter(f File, off int64, opts Options) *Writer {
+	w := &Writer{f: f, off: off}
+	if opts.Policy == SyncInterval {
+		iv := opts.Interval
+		if iv <= 0 {
+			iv = 100 * time.Millisecond
+		}
+		w.stop = make(chan struct{})
+		w.done.Add(1)
+		go w.syncLoop(iv)
+	}
+	if opts.Policy == SyncAlways {
+		w.always = true
+	}
+	return w
+}
+
+// Append frames payload and writes it, fsyncing first under SyncAlways.
+// The payload must be 1..MaxFrame bytes. On return with a nil error the
+// frame is fully written (and durable under SyncAlways).
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > MaxFrame {
+		return fmt.Errorf("wal: payload of %d bytes outside 1..%d", len(payload), MaxFrame)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	need := headerSize + len(payload)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, 0, need+need/2)
+	}
+	w.buf = w.buf[:need]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(w.buf[headerSize:], payload)
+
+	n, err := w.f.Write(w.buf)
+	if err == nil && n != need {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		// The file may now hold a partial frame. Roll back to the last
+		// good boundary when the File can; otherwise poison the writer —
+		// appending after a partial frame would corrupt the log mid-stream.
+		if t, ok := w.f.(truncater); ok {
+			if terr := t.Truncate(w.off); terr == nil {
+				if _, serr := t.Seek(w.off, io.SeekStart); serr == nil {
+					return fmt.Errorf("wal: append failed (rolled back to offset %d): %w", w.off, err)
+				}
+			}
+		}
+		w.err = fmt.Errorf("wal: append failed, writer poisoned (possible partial frame at offset %d): %w", w.off, err)
+		return w.err
+	}
+	w.off += int64(need)
+	w.appends.Add(1)
+	w.bytes.Add(int64(need))
+	if w.always {
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("wal: fsync failed, writer poisoned: %w", err)
+			return w.err
+		}
+		w.syncs.Add(1)
+		return nil
+	}
+	w.dirty.Store(true)
+	return nil
+}
+
+// Sync flushes appended frames to stable storage now, regardless of
+// policy.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.dirty.Swap(false) {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync failed, writer poisoned: %w", err)
+		return w.err
+	}
+	w.syncs.Add(1)
+	return nil
+}
+
+func (w *Writer) syncLoop(iv time.Duration) {
+	defer w.done.Done()
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			if w.dirty.Load() {
+				w.Sync() // a poisoned writer reports the error to the next Append
+			}
+		}
+	}
+}
+
+// Offset returns the size in bytes of the complete frames written so far
+// (the durable length of the log file when synced).
+func (w *Writer) Offset() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
+
+// Stats returns the writer's lifetime counters: frames appended, bytes
+// written (headers included) and fsyncs issued.
+func (w *Writer) Stats() (appends, bytes, syncs int64) {
+	return w.appends.Load(), w.bytes.Load(), w.syncs.Load()
+}
+
+// Close syncs outstanding frames, stops the interval loop, and closes the
+// File when it implements io.Closer. Further appends return ErrClosed;
+// closing twice is a no-op.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if errors.Is(w.err, ErrClosed) {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+	if w.stop != nil {
+		close(w.stop)
+		w.done.Wait()
+		w.stop = nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if errors.Is(err, ErrClosed) {
+		err = nil
+	}
+	if c, ok := w.f.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	w.err = ErrClosed
+	return err
+}

@@ -39,6 +39,24 @@ func (m *Model) NewMatchStore(cfg MatchConfig) (*MatchStore, error) {
 	return match.New(len(m.attrs), cfg)
 }
 
+// DurableMatchStore is a MatchStore whose mutations survive restarts via a
+// write-ahead log and periodic snapshots (an alias, see MatchConfig). It
+// embeds MatchStore, so Resolve takes its .Store directly.
+type DurableMatchStore = match.DurableStore
+
+// DurableMatchOptions configures the durability layer (an alias, see
+// MatchConfig).
+type DurableMatchOptions = match.DurableOptions
+
+// OpenDurableMatchStore opens (creating if needed) a durable online record
+// store rooted at dir, bound to the model's schema arity, replaying any
+// snapshot + log tail a previous process left there. Restart-safe: records
+// added before a crash or clean shutdown are served again without
+// re-ingest.
+func (m *Model) OpenDurableMatchStore(dir string, cfg MatchConfig, opts DurableMatchOptions) (*DurableMatchStore, error) {
+	return match.OpenDurable(dir, len(m.attrs), cfg, opts)
+}
+
 // resolveScratch is one resolve worker's reusable state: the probe scratch
 // of the candidate index, the scoring scratch of the zero-alloc path, the
 // per-probe candidate/score buffers and the bounded top-k heap.
