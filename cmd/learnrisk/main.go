@@ -147,7 +147,7 @@ func saveModel(m *learnrisk.Model, path string) error {
 		return err
 	}
 	if err := m.Save(f); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the save error is the one to report
 		return err
 	}
 	return f.Close()

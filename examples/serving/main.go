@@ -56,7 +56,9 @@ func main() {
 	if err := model.Save(f); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("trained: %d risk features, fingerprint %.12s\n",
 		model.NumFeatures(), model.Fingerprint())
 

@@ -1,0 +1,122 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type counter struct{ n int }
+
+// callReport is a trivial analyzer: one finding per call expression, with a
+// program-wide call counter in shared state.
+var callReport = &analysis.Analyzer{
+	Name: "callreport",
+	Doc:  "reports every call expression (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		count := pass.Prog.State("callreport.count", func() any { return &counter{} }).(*counter)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					count.n++
+					pass.Reportf(call.Pos(), "call found")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestTestdataRunAnnotationsAndSuppression(t *testing.T) {
+	prog, err := analysis.LoadTestdata("testdata", "demo")
+	if err != nil {
+		t.Fatalf("LoadTestdata: %v", err)
+	}
+	results, err := analysis.Run(prog, []*analysis.Analyzer{callReport})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(results) != 1 || results[0].Analyzer != "callreport" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	res := results[0]
+	if res.Packages != 1 || res.Files != 1 {
+		t.Errorf("expected 1 package / 1 file, got %d / %d", res.Packages, res.Files)
+	}
+	// demo contains four calls; the //vetkit:allow line hides one finding
+	// but the analyzer still saw the call.
+	if len(res.Findings) != 3 {
+		t.Errorf("expected 3 findings after suppression, got %d: %v", len(res.Findings), res.Findings)
+	}
+	count := prog.State("callreport.count", func() any { return &counter{} }).(*counter)
+	if count.n != 4 {
+		t.Errorf("expected 4 calls counted in shared state, got %d", count.n)
+	}
+	if s := res.Findings[0].String(); !strings.Contains(s, "[callreport]") || !strings.Contains(s, "demo.go") {
+		t.Errorf("diagnostic string %q missing analyzer tag or position", s)
+	}
+
+	pkg := prog.Packages[0]
+	if pkg.PkgPath != "demo" || !pkg.Target {
+		t.Fatalf("unexpected package %q (target=%v)", pkg.PkgPath, pkg.Target)
+	}
+	ann, _ := pkg.Types.Scope().Lookup("Annotated").(*types.Func)
+	plain, _ := pkg.Types.Scope().Lookup("Plain").(*types.Func)
+	if !prog.FuncAnnotated(ann, analysis.DirectiveHotPath) {
+		t.Error("Annotated should carry //vetkit:hotpath")
+	}
+	if prog.FuncAnnotated(plain, analysis.DirectiveHotPath) {
+		t.Error("Plain should not carry //vetkit:hotpath")
+	}
+	if prog.FuncAnnotated(nil, analysis.DirectiveHotPath) {
+		t.Error("nil func must not be annotated")
+	}
+
+	if p, f := prog.File(pkg.Syntax[0].Package); p != pkg || f != pkg.Syntax[0] {
+		t.Error("File did not locate the demo syntax tree")
+	}
+	if p, _ := prog.File(0); p != nil {
+		t.Error("File(0) should find nothing")
+	}
+}
+
+// TestLoadRealPackage drives the production loader over a real module
+// package: go list -export materializes the dependency closure offline and
+// the package type-checks from source.
+func TestLoadRealPackage(t *testing.T) {
+	prog, err := analysis.Load("../..", "./internal/stats")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var found *analysis.Package
+	for _, pkg := range prog.Packages {
+		if pkg.PkgPath == "repro/internal/stats" {
+			found = pkg
+		}
+	}
+	if found == nil {
+		t.Fatal("repro/internal/stats not loaded")
+	}
+	if !found.Target {
+		t.Error("pattern-matched package should be a target")
+	}
+	if found.Types == nil || len(found.Syntax) == 0 || len(found.GoFiles) == 0 {
+		t.Error("loaded package is missing types or syntax")
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := analysis.Load("../..", "./does/not/exist"); err == nil {
+		t.Error("expected an error for a nonexistent pattern")
+	}
+}
+
+func TestLoadTestdataMissingPackage(t *testing.T) {
+	if _, err := analysis.LoadTestdata("testdata", "nosuchpkg"); err == nil {
+		t.Error("expected an error for a missing fixture package")
+	}
+}

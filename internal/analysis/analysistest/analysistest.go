@@ -1,0 +1,115 @@
+// Package analysistest checks an analyzer against fixture packages the way
+// golang.org/x/tools/go/analysis/analysistest does: fixture sources carry
+//
+//	code()  // want "regexp" "second regexp"
+//
+// comments on the lines where findings are expected, and Run fails the test
+// for every expected finding the analyzer missed and every finding it
+// reported that no want-comment predicted. Clean-pass fixtures are simply
+// files with no want-comments that must produce zero findings.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation: a finding whose message matches re at file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads <dir>/src/<pkg> fixtures, runs the analyzer over them, and
+// diffs findings against the fixtures' want-comments. It returns the
+// results for callers that assert beyond positions (summary counts, JSON).
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []analysis.Result {
+	t.Helper()
+	prog, err := analysis.LoadTestdata(dir, pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	results, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		if !pkg.Target {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			ws, err := parseWants(prog, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, res := range results {
+		for _, d := range res.Findings {
+			if w := match(wants, d); w != nil {
+				w.hit = true
+			} else {
+				t.Errorf("unexpected finding at %s: %s", d.Pos, d.Message)
+			}
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no finding at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+	return results
+}
+
+func match(wants []*want, d analysis.Diagnostic) *want {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants extracts the want-comments of one fixture file.
+func parseWants(prog *analysis.Program, f *ast.File) ([]*want, error) {
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "want ")
+			if idx < 0 {
+				continue
+			}
+			pos := prog.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(c.Text[idx+len("want "):])
+			for rest != "" {
+				quoted, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want comment near %q", pos.Filename, pos.Line, rest)
+				}
+				pat, err := strconv.Unquote(quoted)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want pattern: %v", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+				}
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				rest = strings.TrimSpace(rest[len(quoted):])
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,197 @@
+// Package closecheck flags dropped errors from Close and Sync on writable
+// files. For a file opened for writing, Close is where buffered write
+// errors finally surface — `defer f.Close()` on the success path silently
+// loses them, which for this repo's artifacts (saved models, snapshot
+// files, CSV exports) means a truncated file that reads as "saved ok".
+//
+// Tracked values:
+//
+//   - *os.File variables assigned from os.Create, or from os.OpenFile
+//     whose flag argument contains O_WRONLY or O_RDWR (a non-constant
+//     flag is conservatively treated as writable);
+//   - every expression of type *wal.Writer — the WAL is write-only by
+//     construction, and a dropped Close/Sync error there can hide a
+//     poisoned log.
+//
+// Flagged: statement-level `x.Close()` / `x.Sync()` and `defer x.Close()`
+// whose error result is discarded. Writing `_ = x.Close()` passes — the
+// discard is then explicit in the source, which is the point: best-effort
+// closes on error paths say so, and the success path checks.
+//
+// Test files never reach this analyzer (the loader feeds only GoFiles).
+package closecheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "errors of Close/Sync on writable files and wal.Writer must be checked (or discarded explicitly with _ =)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	writable := collectWritable(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			report(pass, n.X, writable, "")
+		case *ast.DeferStmt:
+			report(pass, n.Call, writable, "deferred ")
+		case *ast.GoStmt:
+			report(pass, n.Call, writable, "go ")
+		}
+		return true
+	})
+}
+
+// collectWritable finds the function's variables that hold files opened
+// for writing.
+func collectWritable(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	writable := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !opensForWriting(pass, call) {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[identOf(as.Lhs[0])]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[identOf(as.Lhs[0])]
+		}
+		if obj != nil {
+			writable[obj] = true
+		}
+		return true
+	})
+	return writable
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// opensForWriting recognizes os.Create and os.OpenFile-with-write-flags.
+func opensForWriting(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "Create":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return true // non-constant flags: assume writable
+		}
+		flags, ok := constant.Int64Val(tv.Value)
+		return !ok || flags&int64(os.O_WRONLY|os.O_RDWR) != 0
+	}
+	return false
+}
+
+// report flags expr when it is a Close/Sync call dropping its error on a
+// writable target.
+func report(pass *analysis.Pass, e ast.Expr, writable map[types.Object]bool, how string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+		return
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	target := ""
+	switch {
+	case isOSFileMethod(fn) && isWritableExpr(pass, sel.X, writable):
+		target = "writable file"
+	case isWALWriter(pass.TypesInfo.Types[sel.X].Type):
+		target = "wal.Writer"
+	default:
+		return
+	}
+	pass.Reportf(call.Pos(), "%s%s.%s() on %s drops its error; check it or discard explicitly with _ =",
+		how, exprText(sel.X), sel.Sel.Name, target)
+}
+
+func isOSFileMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}
+
+func isWALWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "wal" && named.Obj().Name() == "Writer"
+}
+
+func isWritableExpr(pass *analysis.Pass, e ast.Expr, writable map[types.Object]bool) bool {
+	id := identOf(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	return obj != nil && writable[obj]
+}
+
+func exprText(e ast.Expr) string {
+	if id := identOf(e); id != nil {
+		return id.Name
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		return exprText(sel.X) + "." + sel.Sel.Name
+	}
+	return "file"
+}

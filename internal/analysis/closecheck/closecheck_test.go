@@ -1,0 +1,15 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/closecheck"
+)
+
+func TestCloseCheck(t *testing.T) {
+	results := analysistest.Run(t, "testdata", closecheck.Analyzer, "files")
+	if n := len(results[0].Findings); n != 4 {
+		t.Errorf("expected 4 findings, got %d", n)
+	}
+}

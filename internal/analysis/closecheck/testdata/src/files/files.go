@@ -1,0 +1,68 @@
+// Package files seeds closecheck violations: dropped Close/Sync errors on
+// files opened for writing, against the clean checked and explicitly
+// discarded forms.
+package files
+
+import (
+	"os"
+
+	"wal"
+)
+
+func writeBad(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred f.Close"
+	_, err = f.Write(data)
+	return err
+}
+
+func writeGood(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // explicit discard on the error path: fine
+		return err
+	}
+	return f.Close()
+}
+
+func readOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-only file: Close error carries no data loss
+	return nil
+}
+
+func openFileWrite(path string) {
+	f, _ := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f.Close() // want "on writable file drops its error"
+}
+
+func openFileRead(path string) {
+	f, _ := os.OpenFile(path, os.O_RDONLY, 0)
+	f.Close() // read flags: not tracked
+}
+
+func openFileDynamic(path string, flags int) {
+	f, _ := os.OpenFile(path, flags, 0o644)
+	f.Close() // want "on writable file drops its error"
+}
+
+func walDrop(w *wal.Writer) {
+	w.Sync() // want "on wal.Writer drops its error"
+	_ = w.Close()
+}
+
+func walChecked(w *wal.Writer) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return w.Close()
+}

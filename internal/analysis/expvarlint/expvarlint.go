@@ -1,0 +1,113 @@
+// Package expvarlint keeps the /debug/vars surface consistent: every
+// expvar registered anywhere in the tree (expvar.Publish, NewInt, NewFloat,
+// NewString, NewMap) must be named by a snake_case string literal, and each
+// name must be registered exactly once across the whole program — a
+// duplicate Publish panics at runtime, on the debug listener, in
+// production, which is the worst possible place to learn about it.
+//
+// The uniqueness check aggregates across all analyzed packages through the
+// run's shared Program state, so two different commands registering the
+// same name in one binary are caught even though each package looks fine
+// alone.
+package expvarlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "expvarlint",
+	Doc:  "expvar names are snake_case string literals registered exactly once",
+	Run:  run,
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registrars are the expvar functions whose first argument names the var.
+var registrars = map[string]bool{
+	"Publish":   true,
+	"NewInt":    true,
+	"NewFloat":  true,
+	"NewString": true,
+	"NewMap":    true,
+}
+
+// registry is the program-wide name table living in Program.State.
+type registry struct {
+	mu    sync.Mutex
+	names map[string]token.Position
+}
+
+func run(pass *analysis.Pass) error {
+	reg := pass.Prog.State("expvarlint.registry", func() any {
+		return &registry{names: map[string]token.Position{}}
+	}).(*registry)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registrars[sel.Sel.Name] {
+				return true
+			}
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "expvar" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			checkName(pass, reg, sel.Sel.Name, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+func checkName(pass *analysis.Pass, reg *registry, fn string, arg ast.Expr) {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		pass.Reportf(arg.Pos(), "expvar.%s name must be a string literal (found %s), so the metric surface is greppable", fn, exprKind(arg))
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(arg.Pos(), "expvar name %q is not snake_case (want %s)", name, snakeCase)
+	}
+	pos := pass.Fset.Position(arg.Pos())
+	reg.mu.Lock()
+	first, dup := reg.names[name]
+	if !dup {
+		reg.names[name] = pos
+	}
+	reg.mu.Unlock()
+	if dup {
+		pass.Reportf(arg.Pos(), "expvar name %q registered twice (first at %s); a duplicate Publish panics at runtime", name, first)
+	}
+}
+
+func exprKind(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.Ident:
+		return "a variable"
+	case *ast.CallExpr:
+		return "a call"
+	case *ast.BinaryExpr:
+		return "an expression"
+	default:
+		return "a non-literal"
+	}
+}

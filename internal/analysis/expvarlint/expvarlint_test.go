@@ -1,0 +1,18 @@
+package expvarlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/expvarlint"
+)
+
+func TestExpvarLint(t *testing.T) {
+	results := analysistest.Run(t, "testdata", expvarlint.Analyzer, "vars", "vars2")
+	if results[0].Packages != 2 {
+		t.Errorf("expected 2 packages analyzed, got %d", results[0].Packages)
+	}
+	if n := len(results[0].Findings); n != 5 {
+		t.Errorf("expected 5 findings, got %d", n)
+	}
+}

@@ -1,0 +1,9 @@
+// Package vars2 registers a name package vars already took: uniqueness is
+// program-wide, so the clash is caught across package boundaries.
+package vars2
+
+import "expvar"
+
+var clash = expvar.NewInt("mean_latency") // want "registered twice"
+
+var own = expvar.NewInt("vars2_count")

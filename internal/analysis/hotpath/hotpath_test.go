@@ -1,0 +1,18 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	results := analysistest.Run(t, "testdata", hotpath.Analyzer, "hot")
+	if len(results) != 1 || results[0].Packages != 1 {
+		t.Fatalf("expected one result over one package, got %+v", results)
+	}
+	if n := len(results[0].Findings); n != 13 {
+		t.Errorf("expected 13 findings, got %d", n)
+	}
+}

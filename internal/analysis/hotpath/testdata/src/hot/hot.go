@@ -1,0 +1,67 @@
+// Package hot seeds one violation per hotpath rule, plus the sanctioned
+// idioms that must stay clean.
+package hot
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var table = map[string]int{}
+
+//vetkit:hotpath
+func cleanup() {}
+
+// score is the clean fixture: loops, arithmetic, calls to other hotpath
+// functions and the alloc-free map-index conversion produce no findings.
+//
+//vetkit:hotpath
+func score(xs []float64, key []byte) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	cleanup()
+	_ = table[string(key)] // m[string(b)] map index: compiler-recognized, alloc-free
+	return s
+}
+
+// allowed shows the per-line waiver: the make is suppressed.
+//
+//vetkit:hotpath
+func allowed(n int) []float64 {
+	buf := make([]float64, n) //vetkit:allow hotpath amortized growth path
+	return buf
+}
+
+// cold is NOT annotated, so nothing in it is flagged.
+func cold(n int) []int {
+	return make([]int, n)
+}
+
+//vetkit:hotpath
+func bad(n int, s string) {
+	buf := make([]float64, n) // want "calls make"
+	_ = buf
+	p := new(int) // want "calls new"
+	_ = p
+	m := map[int]int{} // want "builds a map literal"
+	_ = m
+	sl := []int{1, 2} // want "builds a slice literal"
+	_ = sl
+	pt := &point{1, 2} // want "heap-allocates a composite literal"
+	_ = pt
+	t := s + "x" // want "concatenates strings"
+	_ = t
+	b := []byte(s) // want "copies the data"
+	_ = b
+	v := any(n) // want "boxing allocates"
+	_ = v
+	f := func() {} // want "contains a closure"
+	_ = f
+	defer cleanup() // want "contains defer"
+	go cleanup()    // want "spawns a goroutine"
+	fmt.Println(n)  // want "calls fmt.Println"
+	helper()        // want "neither //vetkit:hotpath nor trusted"
+}
+
+func helper() {}

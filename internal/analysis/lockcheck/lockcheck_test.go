@@ -1,0 +1,15 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcheck"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	results := analysistest.Run(t, "testdata", lockcheck.Analyzer, "locks")
+	if n := len(results[0].Findings); n != 10 {
+		t.Errorf("expected 10 findings, got %d", n)
+	}
+}

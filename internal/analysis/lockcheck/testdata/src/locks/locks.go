@@ -1,0 +1,95 @@
+// Package locks seeds both halves of lockdiscipline: mutex-bearing values
+// copied, and Lock calls that miss their Unlock on some path.
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func byValue(c counter) { // want "parameter passes lock by value"
+	_ = c.n
+}
+
+func ret(c *counter) counter { // want "result passes lock by value"
+	return *c // want "return value copies lock"
+}
+
+func assign(c *counter) {
+	d := *c // want "assignment copies lock"
+	d.n++
+}
+
+func ranger(cs []counter) {
+	for _, c := range cs { // want "range value copies lock"
+		_ = c.n
+	}
+}
+
+func callArg(c *counter) {
+	sink(*c) // want "call argument copies lock"
+}
+
+func sink(c counter) { // want "parameter passes lock by value"
+	_ = c.n
+}
+
+var fn = func(c counter) { // want "parameter passes lock by value"
+	_ = c.n
+}
+
+// fresh builds a new value: initialization, not a copy.
+func fresh() *counter {
+	return &counter{}
+}
+
+func leak(c *counter) {
+	c.mu.Lock()
+} // want "still held at function end"
+
+func leakReturn(c *counter, cond bool) {
+	c.mu.Lock()
+	if cond {
+		return // want "still held at return"
+	}
+	c.mu.Unlock()
+}
+
+// pairedDefer and paired are the clean shapes.
+func pairedDefer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func paired(s *shard, k string) int {
+	s.mu.RLock()
+	v := s.m[k]
+	s.mu.RUnlock()
+	return v
+}
+
+// branches release on every path: the join intersects to empty.
+func branches(c *counter, cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// lockForCaller hands a held lock out on purpose; the waiver sits on the
+// line above the closing brace where the leak would be reported.
+func lockForCaller(c *counter) {
+	c.mu.Lock()
+	//vetkit:allow lockdiscipline lock intentionally handed to the caller
+}

@@ -1,0 +1,18 @@
+// Package demo exercises the analysis framework itself: a //vetkit:
+// function annotation, an //vetkit:allow line suppression, and a stdlib
+// import the offline importer must resolve.
+package demo
+
+import "math"
+
+//vetkit:hotpath
+func Annotated() float64 { return math.Sqrt(2) }
+
+func Plain() {}
+
+func use() {
+	_ = Annotated()
+	Plain() //vetkit:allow callreport suppressed on purpose
+
+	Plain()
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+// LoadTestdata type-checks fixture packages laid out analysistest-style —
+// <dir>/src/<pkgpath>/*.go — and returns a Program whose targets are the
+// named pkgpaths. Fixture packages may import each other (by their
+// src-relative path) and the standard library; stdlib export data comes
+// from one `go list -export` sweep, so fixtures type-check offline exactly
+// like real packages.
+func LoadTestdata(dir string, pkgpaths ...string) (*Program, error) {
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset}
+	loader := &testLoader{
+		fset: fset,
+		root: filepath.Join(dir, "src"),
+		prog: prog,
+		pkgs: map[string]*Package{},
+	}
+	for _, path := range pkgpaths {
+		pkg, err := loader.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = true
+	}
+	return prog, nil
+}
+
+type testLoader struct {
+	fset    *token.FileSet
+	root    string
+	prog    *Program
+	pkgs    map[string]*Package
+	loading []string
+	std     types.Importer
+}
+
+func (l *testLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if slices.Contains(l.loading, path) {
+		return nil, fmt.Errorf("analysis: fixture import cycle through %q", path)
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	pkgDir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture package %q: %w", path, err)
+	}
+	pkg := &Package{PkgPath: path, Dir: pkgDir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(pkgDir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing fixture %s: %w", full, err)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, full)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	if len(pkg.Syntax) == 0 {
+		return nil, fmt.Errorf("analysis: fixture package %q has no Go files", path)
+	}
+
+	// Load local (fixture) dependencies first so the importer below can
+	// resolve them from l.pkgs.
+	for _, f := range pkg.Syntax {
+		for _, imp := range f.Imports {
+			ipath := strings.Trim(imp.Path.Value, `"`)
+			if l.isLocal(ipath) {
+				if _, err := l.load(ipath); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	pkg.TypesInfo = NewTypesInfo()
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if dep, ok := l.pkgs[ipath]; ok {
+			return dep.Types, nil
+		}
+		std, err := l.stdImporter()
+		if err != nil {
+			return nil, err
+		}
+		return std.Import(ipath)
+	})}
+	tpkg, err := conf.Check(path, l.fset, pkg.Syntax, pkg.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %q: %w", path, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	l.prog.Packages = append(l.prog.Packages, pkg)
+	l.prog.collectAnnotations(pkg)
+	return pkg, nil
+}
+
+func (l *testLoader) isLocal(path string) bool {
+	fi, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path)))
+	return err == nil && fi.IsDir()
+}
+
+// stdImporter lazily builds a gc importer over `go list -export std`-style
+// output for the standard library (one subprocess per LoadTestdata call at
+// most, and none when fixtures only import already-listed packages).
+func (l *testLoader) stdImporter() (types.Importer, error) {
+	if l.std != nil {
+		return l.std, nil
+	}
+	cmd := exec.Command("go", "list", "-e", "-export", "-json=ImportPath,Export", "-deps", "std")
+	cmd.Dir = l.root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list std: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l.std, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// File returns the syntax tree that contains pos, with its package.
+func (prog *Program) File(pos token.Pos) (*Package, *ast.File) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			if f.FileStart <= pos && pos <= f.FileEnd {
+				return pkg, f
+			}
+		}
+	}
+	return nil, nil
+}

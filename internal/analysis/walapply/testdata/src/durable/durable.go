@@ -1,0 +1,80 @@
+// Package durable seeds wal-before-apply violations: store mutations the
+// WAL append does not dominate.
+package durable
+
+import "wal"
+
+type mem struct{}
+
+func (m *mem) Add(id uint64)     {}
+func (m *mem) Delete(id uint64)  {}
+func (m *mem) reserveID() uint64 { return 0 }
+
+type Durable struct {
+	Store *mem
+	log   *wal.Writer
+}
+
+// Add is the clean shape: reserve (not a mutation), append, then apply.
+//
+//vetkit:wal-before-apply
+func (d *Durable) Add(id uint64) error {
+	_ = d.Store.reserveID()
+	if err := d.log.Append(1, nil); err != nil {
+		return err
+	}
+	d.Store.Add(id)
+	return nil
+}
+
+//vetkit:wal-before-apply
+func (d *Durable) AddEarly(id uint64) error {
+	d.Store.Add(id) // want "mutates the in-memory store before the WAL append"
+	return d.log.Append(1, nil)
+}
+
+// AddBranchy appends on only one branch; the mutation after the join is
+// unproven on the fast path.
+//
+//vetkit:wal-before-apply
+func (d *Durable) AddBranchy(id uint64, fast bool) error {
+	if !fast {
+		if err := d.log.Append(1, nil); err != nil {
+			return err
+		}
+	}
+	d.Store.Delete(id) // want "mutates the in-memory store before the WAL append"
+	return nil
+}
+
+// AddLoop appends inside a loop that may run zero times, so the mutation
+// after it is not covered.
+//
+//vetkit:wal-before-apply
+func (d *Durable) AddLoop(ids []uint64) error {
+	for _, id := range ids {
+		if err := d.log.Append(byte(id), nil); err != nil {
+			return err
+		}
+	}
+	d.Store.Add(0) // want "mutates the in-memory store before the WAL append"
+	return nil
+}
+
+// AddBatch uses AppendBatch, the other recognized append entry point.
+//
+//vetkit:wal-before-apply
+func (d *Durable) AddBatch(ids []uint64) error {
+	if err := d.log.AppendBatch(nil, nil); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		d.Store.Add(id)
+	}
+	return nil
+}
+
+// unannotated mutates freely: the analyzer only enters annotated methods.
+func (d *Durable) unannotated(id uint64) {
+	d.Store.Add(id)
+}

@@ -1,0 +1,294 @@
+// Package walapply enforces the durability layer's ordering contract: in a
+// //vetkit:wal-before-apply method (match.DurableStore.Add / .Delete),
+// every control-flow path must reach the WAL append before any in-memory
+// store mutation. The log is the truth and memory is a cache of it — a
+// mutation the log never saw silently diverges the two, and only a crash
+// test would catch it. This analyzer catches it at vet time.
+//
+// Recognition is structural, so the check works on the real tree and on
+// fixtures alike:
+//
+//   - a "WAL append" is a call to a method named Append or AppendBatch
+//     whose receiver is a Writer declared in a package named "wal";
+//   - a "store mutation" is a call to one of Add, addAt, Delete,
+//     advanceNextID or Compact on a field named Store, store or mem
+//     (the embedded in-memory store of a durable wrapper). reserveID is
+//     deliberately NOT a mutation: reserving an ID before logging burns
+//     the ID on failure but mutates nothing the log must agree with.
+//
+// Path analysis is conservative: after an if/switch, the WAL append counts
+// as established only when every surviving branch established it, and a
+// loop body's append never establishes it for code after the loop (the
+// loop may run zero times).
+package walapply
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walbeforeapply",
+	Doc:  "//vetkit:wal-before-apply methods must append to the WAL before mutating the in-memory store on every path",
+	Run:  run,
+}
+
+// mutationMethods are the in-memory store calls that must not precede the
+// WAL append.
+var mutationMethods = map[string]bool{
+	"Add":           true,
+	"addAt":         true,
+	"Delete":        true,
+	"advanceNextID": true,
+	"Compact":       true,
+}
+
+// storeFields are the receiver-field names holding the in-memory store.
+var storeFields = map[string]bool{
+	"Store": true,
+	"store": true,
+	"mem":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil || !pass.Prog.FuncAnnotated(fn, analysis.DirectiveWALBeforeApply) {
+				continue
+			}
+			c := &checker{pass: pass, fn: fd}
+			c.stmts(fd.Body.List, false)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+// stmts walks one statement list with the entry "WAL append has happened"
+// state, returning the exit state and whether the list always terminates
+// (returns/panics) before falling through.
+func (c *checker) stmts(list []ast.Stmt, appended bool) (exitAppended, terminated bool) {
+	for _, s := range list {
+		appended, terminated = c.stmt(s, appended)
+		if terminated {
+			return appended, true
+		}
+	}
+	return appended, false
+}
+
+func (c *checker) stmt(s ast.Stmt, appended bool) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			appended = c.expr(r, appended)
+		}
+		return appended, true
+	case *ast.BlockStmt:
+		return c.stmts(s.List, appended)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, appended)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			appended, _ = c.stmt(s.Init, appended)
+		}
+		appended = c.expr(s.Cond, appended)
+		thenApp, thenTerm := c.stmts(s.Body.List, appended)
+		elseApp, elseTerm := appended, false
+		if s.Else != nil {
+			elseApp, elseTerm = c.stmt(s.Else, appended)
+		}
+		return mergeBranches(
+			branch{thenApp, thenTerm},
+			branch{elseApp, elseTerm},
+		)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			appended, _ = c.stmt(s.Init, appended)
+		}
+		if s.Cond != nil {
+			appended = c.expr(s.Cond, appended)
+		}
+		c.stmts(s.Body.List, appended) // reports inside; zero-trip means no state change out
+		return appended, false
+	case *ast.RangeStmt:
+		appended = c.expr(s.X, appended)
+		c.stmts(s.Body.List, appended)
+		return appended, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.clauses(s, appended)
+	case *ast.DeferStmt:
+		// Deferred calls run at return, after everything else — but a
+		// deferred mutation with no append anywhere is still wrong, so
+		// check it against the current state conservatively.
+		return c.expr(s.Call, appended), false
+	case *ast.GoStmt:
+		return c.expr(s.Call, appended), false
+	case *ast.ExprStmt:
+		return c.expr(s.X, appended), false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			appended = c.expr(r, appended)
+		}
+		for _, l := range s.Lhs {
+			appended = c.expr(l, appended)
+		}
+		return appended, false
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						appended = c.expr(v, appended)
+					}
+				}
+			}
+		}
+		return appended, false
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.SendStmt:
+		return appended, false
+	default:
+		return appended, false
+	}
+}
+
+type branch struct {
+	appended   bool
+	terminated bool
+}
+
+// mergeBranches joins sibling control-flow branches: the appended state
+// holds after the join only if every branch that can fall through
+// established it, and the join terminates only if every branch does.
+func mergeBranches(branches ...branch) (bool, bool) {
+	appended, terminated := true, true
+	for _, b := range branches {
+		if b.terminated {
+			continue
+		}
+		terminated = false
+		appended = appended && b.appended
+	}
+	if terminated { // every branch returned; appended is moot
+		return true, true
+	}
+	return appended, false
+}
+
+// clauses handles switch/type-switch/select: each clause runs from the
+// entry state; a missing default means control may skip every clause.
+func (c *checker) clauses(s ast.Stmt, appended bool) (bool, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			appended, _ = c.stmt(s.Init, appended)
+		}
+		if s.Tag != nil {
+			appended = c.expr(s.Tag, appended)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			appended, _ = c.stmt(s.Init, appended)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	branches := []branch{}
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				appended = c.expr(e, appended)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		app, term := c.stmts(stmts, appended)
+		branches = append(branches, branch{app, term})
+	}
+	if !hasDefault {
+		branches = append(branches, branch{appended, false})
+	}
+	return mergeBranches(branches...)
+}
+
+// expr scans one expression's calls in syntactic (≈ evaluation) order,
+// updating the appended state and reporting mutations that precede it.
+func (c *checker) expr(e ast.Expr, appended bool) bool {
+	if e == nil {
+		return appended
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case c.isWALAppend(call):
+			appended = true
+		case c.isMutation(call):
+			if !appended {
+				c.pass.Reportf(call.Pos(), "wal-before-apply %s mutates the in-memory store before the WAL append on this path", c.fn.Name.Name)
+			}
+		}
+		return true
+	})
+	return appended
+}
+
+func (c *checker) isWALAppend(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Append" && sel.Sel.Name != "AppendBatch") {
+		return false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Writer" && named.Obj().Pkg().Name() == "wal"
+}
+
+func (c *checker) isMutation(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !mutationMethods[sel.Sel.Name] {
+		return false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	return ok && storeFields[inner.Sel.Name]
+}

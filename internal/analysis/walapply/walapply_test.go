@@ -1,0 +1,15 @@
+package walapply_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walapply"
+)
+
+func TestWALBeforeApply(t *testing.T) {
+	results := analysistest.Run(t, "testdata", walapply.Analyzer, "durable")
+	if n := len(results[0].Findings); n != 3 {
+		t.Errorf("expected 3 findings, got %d", n)
+	}
+}

@@ -140,6 +140,8 @@ func (m *Matcher) InputFromRow(row []float64) []float64 {
 
 // InputFromRowInto is InputFromRow into a caller-provided destination of
 // length len(viewCols) — the allocation-free form the serving scratch uses.
+//
+//vetkit:hotpath
 func (m *Matcher) InputFromRowInto(dst []float64, row []float64) []float64 {
 	for j, c := range m.viewCols {
 		v := row[c]
@@ -167,6 +169,8 @@ func (m *Matcher) NewProbScratch() *ProbScratch {
 
 // ProbRowScratch is ProbRow through a reusable scratch: zero heap
 // allocations in steady state, bit-identical to ProbRow.
+//
+//vetkit:hotpath
 func (m *Matcher) ProbRowScratch(row []float64, s *ProbScratch) float64 {
 	return m.net.PredictScratch(m.InputFromRowInto(s.in, row), s.fwd)
 }

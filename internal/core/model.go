@@ -216,6 +216,8 @@ type fusion struct {
 
 // fuse aggregates the distributions of the features firing on inst
 // (Eq. 2–3 with per-pair weight normalization; see DESIGN.md).
+//
+//vetkit:hotpath
 func (m *Model) fuse(inst Instance) fusion {
 	var f fusion
 	f.wc = m.Influence(inst.Prob)
@@ -245,6 +247,8 @@ func (m *Model) fuse(inst Instance) fusion {
 // For a pair labeled unmatching the loss is its equivalence probability, so
 // VaR_theta = F^{-1}(theta) (Eq. 9); for a matching label the loss is
 // 1 - equivalence probability, so VaR_theta = 1 - F^{-1}(1-theta) (Eq. 10).
+//
+//vetkit:hotpath
 func (m *Model) Assess(inst Instance) Assessment {
 	f := m.fuse(inst)
 	a := Assessment{Mu: f.mu, Sigma: f.sigma}
@@ -270,6 +274,8 @@ func (m *Model) Assess(inst Instance) Assessment {
 // mu + z*sigma for unmatching labels, (1-mu) + z*sigma for matching labels.
 // It is monotone in both mu and sigma, so optimizing the ranking of the
 // surrogate optimizes the ranking of the truncated VaR.
+//
+//vetkit:hotpath
 func (m *Model) surrogate(f fusion, label bool) float64 {
 	if label {
 		return (1 - f.mu) + m.z*f.sigma

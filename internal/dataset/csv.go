@@ -133,8 +133,13 @@ func SaveWorkload(dir string, w *Workload) error {
 		if err != nil {
 			return err
 		}
-		defer file.Close()
-		return f(file)
+		if err := f(file); err != nil {
+			_ = file.Close() // best-effort: the write error is the one to report
+			return err
+		}
+		// Close is where buffered write errors surface; dropping it would
+		// report a truncated CSV as saved.
+		return file.Close()
 	}
 	if err := write("left", func(out io.Writer) error { return WriteTableCSV(out, w.Left) }); err != nil {
 		return err

@@ -61,6 +61,8 @@ func NewServeScratch(cat *metrics.Catalog) *ServeScratch {
 // previous pair (the "one query against K candidates" serving shape, and
 // consecutive batch pairs sharing a record). last retains the value slice
 // contents for that comparison.
+//
+//vetkit:hotpath
 func (s *ServeScratch) resetSide(prep []*metrics.Prepared, last *[]string, vals []string) {
 	if sameValues(*last, vals) {
 		return
@@ -75,6 +77,7 @@ func (s *ServeScratch) resetSide(prep []*metrics.Prepared, last *[]string, vals 
 	*last = append((*last)[:0], vals...)
 }
 
+//vetkit:hotpath
 func sameValues(a, b []string) bool {
 	if a == nil || len(a) != len(b) {
 		return false
@@ -92,6 +95,8 @@ func sameValues(a, b []string) bool {
 // computing every derived value through the scratch's reusable buffers.
 // The row values are bit-identical to ComputeRow's. Steady state (buffers
 // grown, dst capacity sufficient) performs zero heap allocations.
+//
+//vetkit:hotpath
 func ComputeRowAppend(cat *metrics.Catalog, dst []float64, left, right []string, s *ServeScratch) []float64 {
 	s.resetSide(s.pa, &s.lastL, left)
 	s.resetSide(s.pb, &s.lastR, right)
@@ -100,7 +105,7 @@ func ComputeRowAppend(cat *metrics.Catalog, dst []float64, left, right []string,
 	if cap(dst) >= base+w {
 		dst = dst[:base+w]
 	} else {
-		grown := make([]float64, base+w, 2*(base+w))
+		grown := make([]float64, base+w, 2*(base+w)) //vetkit:allow hotpath amortized growth, cold after warm-up
 		copy(grown, dst)
 		dst = grown
 	}

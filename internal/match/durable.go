@@ -396,6 +396,8 @@ func (d *DurableStore) loadSnapshot(path string) (int, error) {
 // Add logs the record, then installs it. The ID is durable by the time the
 // call returns (under wal.SyncAlways). A WAL failure refuses the add — the
 // in-memory store never holds state the log does not.
+//
+//vetkit:wal-before-apply
 func (d *DurableStore) Add(values []string) (uint64, error) {
 	if len(values) != d.Store.arity {
 		return 0, fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), d.Store.arity, ErrArity)
@@ -426,6 +428,8 @@ func (d *DurableStore) Add(values []string) (uint64, error) {
 
 // Delete logs the tombstone, then applies it. Deleting an unknown or
 // already-deleted ID is (false, nil) and logs nothing.
+//
+//vetkit:wal-before-apply
 func (d *DurableStore) Delete(id uint64) (bool, error) {
 	d.mu.Lock()
 	if d.closed {
@@ -606,7 +610,7 @@ func (d *DurableStore) writeSnapshotFile(seq, nextID uint64, entries []snapEntry
 		return w.Sync() // flush + fsync: the bytes are on disk before the rename publishes them
 	}
 	if err := write(); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort: the write error is the one to report
 		os.Remove(tmp)
 		return 0, fmt.Errorf("match: writing snapshot %s: %w", tmp, err)
 	}

@@ -190,14 +190,18 @@ func (s *Store) Config() Config {
 	return cfg
 }
 
+//vetkit:hotpath
 func (s *Store) recShardOf(id uint64) *recShard { return &s.recs[id&s.shardMask] }
 
+//vetkit:hotpath
 func (s *Store) tokShardOf(tok []byte) *tokShard {
 	return &s.toks[maphash.Bytes(s.seed, tok)&s.shardMask]
 }
 
 // tokShardOfString is tokShardOf for interned tokens (same hash as the
 // byte form, no []byte conversion allocating on the Add/Delete path).
+//
+//vetkit:hotpath
 func (s *Store) tokShardOfString(tok string) *tokShard {
 	return &s.toks[maphash.String(s.seed, tok)&s.shardMask]
 }
@@ -366,6 +370,7 @@ func (s *Store) Compact() {
 	}
 }
 
+//vetkit:hotpath
 func (s *Store) alive(id uint64) bool {
 	rs := s.recShardOf(id)
 	rs.mu.RLock()
@@ -413,9 +418,11 @@ type ProbeScratch struct {
 // blocking.Candidates run of the probe against the surviving records would
 // pair it with (the oracle property test pins this). Steady state performs
 // no heap allocations beyond dst growth.
+//
+//vetkit:hotpath
 func (s *Store) AppendCandidates(dst []uint64, values []string, ps *ProbeScratch) ([]uint64, error) {
 	if len(values) != s.arity {
-		return dst, fmt.Errorf("match: probe has %d values, store schema has %d: %w", len(values), s.arity, ErrArity)
+		return dst, fmt.Errorf("match: probe has %d values, store schema has %d: %w", len(values), s.arity, ErrArity) //vetkit:allow hotpath cold schema-mismatch branch
 	}
 	ps.posts = ps.posts[:0]
 	ps.ids = ps.ids[:0]

@@ -260,9 +260,11 @@ func rowPrepared(cache []*Prepared, vals []string, attr int) *Prepared {
 // already-prepared attribute rows (as produced by PrepareRow). The prepared
 // values must be materialized if the call happens concurrently. s provides
 // the per-worker metric scratch; nil allocates a fresh one for the call.
+//
+//vetkit:hotpath
 func (c *Catalog) ComputePreparedInto(dst []float64, pa, pb []*Prepared, s *Scratch) {
 	if s == nil {
-		s = &Scratch{}
+		s = &Scratch{} //vetkit:allow hotpath nil-scratch convenience path, cold
 	}
 	for i, m := range c.Metrics {
 		var corpus *Corpus
@@ -270,10 +272,10 @@ func (c *Catalog) ComputePreparedInto(dst []float64, pa, pb []*Prepared, s *Scra
 			corpus = c.Corpora[m.Attr]
 		}
 		if m.PFn != nil {
-			dst[i] = m.PFn(pa[m.Attr], pb[m.Attr], corpus, s)
+			dst[i] = m.PFn(pa[m.Attr], pb[m.Attr], corpus, s) //vetkit:allow hotpath metric kernels are alloc-free by contract (reuse tests pin them)
 			continue
 		}
-		dst[i] = m.Fn(pa[m.Attr].Raw(), pb[m.Attr].Raw(), corpus)
+		dst[i] = m.Fn(pa[m.Attr].Raw(), pb[m.Attr].Raw(), corpus) //vetkit:allow hotpath metric kernels are alloc-free by contract
 	}
 }
 

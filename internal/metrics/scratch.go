@@ -23,23 +23,27 @@ type Scratch struct {
 
 // i32s2 returns two int32 buffers of length n with unspecified contents
 // (every DP user fully initializes them).
+//
+//vetkit:hotpath
 func (s *Scratch) i32s2(n int) (a, b []int32) {
 	if cap(s.ia) < n {
-		s.ia = make([]int32, n)
+		s.ia = make([]int32, n) //vetkit:allow hotpath amortized scratch growth
 	}
 	if cap(s.ib) < n {
-		s.ib = make([]int32, n)
+		s.ib = make([]int32, n) //vetkit:allow hotpath amortized scratch growth
 	}
 	return s.ia[:n], s.ib[:n]
 }
 
 // bools2 returns two zeroed bool buffers of lengths na and nb.
+//
+//vetkit:hotpath
 func (s *Scratch) bools2(na, nb int) (a, b []bool) {
 	if cap(s.ba) < na {
-		s.ba = make([]bool, na)
+		s.ba = make([]bool, na) //vetkit:allow hotpath amortized scratch growth
 	}
 	if cap(s.bb) < nb {
-		s.bb = make([]bool, nb)
+		s.bb = make([]bool, nb) //vetkit:allow hotpath amortized scratch growth
 	}
 	a, b = s.ba[:na], s.bb[:nb]
 	for i := range a {

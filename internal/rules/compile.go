@@ -134,6 +134,8 @@ func (c *RuleSet) Rules() []Rule { return c.rules }
 // countInto computes the satisfied-predicate count of every rule on one
 // row into counts (len NumRules; zeroed here). It is the shared core of
 // the append-form fireInto and the bitset-form ApplyRowBitset.
+//
+//vetkit:hotpath
 func (c *RuleSet) countInto(x []float64, counts []int32) {
 	for i := range counts {
 		counts[i] = 0
@@ -172,6 +174,7 @@ func (c *RuleSet) fireInto(x []float64, counts []int32, dst []int32) []int32 {
 	return dst
 }
 
+//vetkit:hotpath
 func (c *RuleSet) gtHolding(g *colGroup, hi int) []int32 {
 	return g.gtPost[:g.gtOff[hi]]
 }
@@ -195,11 +198,15 @@ func (c *RuleSet) NewRowScratch() *RowScratch {
 
 // Bits exposes the scratch's firing bitset (valid until the next
 // ApplyRowBitset call on the scratch).
+//
+//vetkit:hotpath
 func (s *RowScratch) Bits() []uint64 { return s.bits }
 
 // AppendFired appends the firing rule indices of the last ApplyRowBitset
 // call to dst in ascending order — exactly ApplyRow's result — with zero
 // allocations once dst has capacity.
+//
+//vetkit:hotpath
 func (s *RowScratch) AppendFired(dst []int) []int {
 	for w, m := range s.bits {
 		for m != 0 {
@@ -216,9 +223,11 @@ func (s *RowScratch) AppendFired(dst []int) []int {
 // the zero-allocation core of ApplyRow: same width invariant, same firing
 // semantics, no per-call heap traffic. Decode the result with
 // s.AppendFired (ascending rule order) or read s.Bits directly.
+//
+//vetkit:hotpath
 func (c *RuleSet) ApplyRowBitset(x []float64, s *RowScratch) {
 	if len(x) < c.width {
-		panic(fmt.Sprintf("rules: row width %d below compiled width %d (schema/rule mismatch)", len(x), c.width))
+		panic(fmt.Sprintf("rules: row width %d below compiled width %d (schema/rule mismatch)", len(x), c.width)) //vetkit:allow hotpath cold invariant-violation branch
 	}
 	for i := range s.bits {
 		s.bits[i] = 0

@@ -175,19 +175,19 @@ func OpenFileWriter(path string, validSize int64, opts Options) (*Writer, error)
 		return nil, err
 	}
 	if fi, err := f.Stat(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	} else if fi.Size() > validSize {
 		if err := f.Truncate(validSize); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("wal: truncating torn tail of %s to %d bytes: %w", path, validSize, err)
 		}
 	} else if fi.Size() < validSize {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("wal: %s is %d bytes, shorter than its %d validated bytes", path, fi.Size(), validSize)
 	}
 	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return NewWriter(f, validSize, opts), nil

@@ -257,7 +257,7 @@ func (w *Writer) syncLoop(iv time.Duration) {
 			return
 		case <-t.C:
 			if w.dirty.Load() {
-				w.Sync() // a poisoned writer reports the error to the next Append
+				_ = w.Sync() // a poisoned writer reports the error to the next Append
 			}
 		}
 	}

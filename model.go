@@ -441,6 +441,8 @@ func (m *Model) ScoreBatch(pairs []Pair) ([]PairScore, error) {
 }
 
 // scorePair evaluates one (already arity-checked) pair inside a scratch.
+//
+//vetkit:hotpath
 func (m *Model) scorePair(p Pair, s *scoreScratch) PairScore {
 	s.row = featstore.ComputeRowAppend(m.cat, s.row[:0], p.Left, p.Right, s.fs)
 	inst := m.instFromRow(s.row, s)
@@ -453,6 +455,8 @@ func (m *Model) scorePair(p Pair, s *scoreScratch) PairScore {
 // ScoreBatch and ExplainPair all share it, so labels and explanations can
 // never disagree. The instance's Fired slice aliases the scratch and is
 // valid until the scratch's next use.
+//
+//vetkit:hotpath
 func (m *Model) instFromRow(row []float64, s *scoreScratch) core.Instance {
 	prob := m.matcher.ProbRowScratch(row, s.prob)
 	m.rset.ApplyRowBitset(row, s.rules)
