@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples build-cmds vet lint fmtcheck test race cover allocs tier1 crash bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5 bench-pr6
+.PHONY: build build-examples build-cmds vet lint fmtcheck test race cover allocs tier1 crash bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5 bench-pr6 bench-pr8
 
 build:
 	$(GO) build ./...
@@ -60,7 +60,7 @@ test:
 # WAL append / snapshot rotation / replay), and the HTTP serving layer
 # (micro-batcher coalescing + model hot-swap under load).
 race:
-	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/...
+	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/... ./internal/blocking/...
 	$(GO) test -race ./internal/server/... ./internal/match/... ./internal/wal/...
 	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent|TestResolveConcurrent' .
 
@@ -144,3 +144,14 @@ bench-pr5:
 # overhead; fsync=always buys an fsync-per-ack durability guarantee.
 bench-pr6:
 	$(GO) run ./cmd/bench -out BENCH_PR6.json -label current -bench Durable -benchtime 2s
+
+# bench-pr8 refreshes BENCH_PR8.json — the bounded-memory batch pipeline:
+# the materialized path (blocking.Candidates + a full featstore.Store) vs
+# the streamed path (blocking.CandidateSeq + featstore.Streamer windows)
+# folding every metric row of a ~106k-record workload (~219k candidate
+# pairs). The acceptance bar is >= 10x lower peak heap growth (the peakB
+# metric) with no wall-time regression; the -compare line prints the
+# materialized/streamed ratios directly after recording.
+bench-pr8:
+	$(GO) run ./cmd/bench -out BENCH_PR8.json -label current -bench BatchPipeline -benchtime 3x \
+	  -compare BatchPipelineMaterialized,BatchPipelineStreamed

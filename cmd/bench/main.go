@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -55,6 +56,7 @@ func main() {
 	parse := flag.String("parse", "", "parse an existing `go test -bench` output file instead of running the suite")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the bench run to this file (passed to go test)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the bench run to this file (passed to go test)")
+	compare := flag.String("compare", "", "after recording, print an A,B ratio summary of two benchmarks (names without the Benchmark prefix)")
 	flag.Parse()
 
 	var raw []byte
@@ -120,6 +122,52 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s section %q\n", len(results), *out, *label)
+	if *compare != "" {
+		if err := printCompare(results, *compare); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printCompare prints a ratio summary of two recorded benchmarks — A's cost
+// over B's for wall time, allocation totals and any custom metric both
+// report (e.g. the peakB bytes the batch-pipeline benches emit), so a
+// before/after acceptance bar can be read off the bench run directly.
+func printCompare(results map[string]result, spec string) error {
+	names := strings.Split(spec, ",")
+	if len(names) != 2 {
+		return fmt.Errorf("-compare wants two comma-separated benchmark names, got %q", spec)
+	}
+	na, nb := strings.TrimSpace(names[0]), strings.TrimSpace(names[1])
+	a, ok := results[na]
+	if !ok {
+		return fmt.Errorf("-compare: no result named %q in this run", na)
+	}
+	b, ok := results[nb]
+	if !ok {
+		return fmt.Errorf("-compare: no result named %q in this run", nb)
+	}
+	ratio := func(x, y float64) string {
+		if y == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2fx", x/y)
+	}
+	fmt.Printf("compare %s vs %s (A/B ratios):\n", na, nb)
+	fmt.Printf("  ns/op      %14.0f  %14.0f  %s\n", a.NsPerOp, b.NsPerOp, ratio(a.NsPerOp, b.NsPerOp))
+	fmt.Printf("  B/op       %14d  %14d  %s\n", a.BytesPerOp, b.BytesPerOp, ratio(float64(a.BytesPerOp), float64(b.BytesPerOp)))
+	fmt.Printf("  allocs/op  %14d  %14d  %s\n", a.AllocsPerOp, b.AllocsPerOp, ratio(float64(a.AllocsPerOp), float64(b.AllocsPerOp)))
+	units := make([]string, 0, len(a.Metrics))
+	for u := range a.Metrics {
+		if _, ok := b.Metrics[u]; ok {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		fmt.Printf("  %-9s  %14.0f  %14.0f  %s\n", u, a.Metrics[u], b.Metrics[u], ratio(a.Metrics[u], b.Metrics[u]))
+	}
+	return nil
 }
 
 // parseBench extracts Benchmark lines from `go test -bench` output. Each

@@ -119,6 +119,12 @@ func main() {
 	})
 	defer srv.Close()
 
+	// The signal context exists before the warm-up goroutines start so a
+	// SIGINT during a large -records load stops the row loop promptly
+	// instead of waiting for the whole file.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Store warm-up runs in the background so the listener binds
 	// immediately; /readyz holds 503 until the store is populated (or
 	// reports why the warm-up failed — a replica with a half-empty index
@@ -133,7 +139,7 @@ func main() {
 		}
 		srv.SetDurablePending()
 		srv.SetNotReady(fmt.Sprintf("opening durable match store in %s", *dataDir))
-		go openDurableStore(srv, model, *dataDir, *recordsPath, match.DurableOptions{
+		go openDurableStore(ctx, srv, model, *dataDir, *recordsPath, match.DurableOptions{
 			Sync:          policy,
 			SyncInterval:  interval,
 			SnapshotEvery: *snapEvery,
@@ -142,9 +148,9 @@ func main() {
 	case *recordsPath != "":
 		srv.SetNotReady(fmt.Sprintf("warm-loading match records from %s", *recordsPath))
 		go func() {
-			n, err := warmLoadRecords(srv, *recordsPath)
+			n, err := warmLoadRecords(ctx, srv, srv.MatchStore().Arity(), *recordsPath)
 			if err != nil {
-				log.Printf("warm-load: %v", err)
+				log.Printf("warm-load: %v (after %d records)", err, n)
 				srv.SetNotReady(fmt.Sprintf("warm-load of %s failed: %v", *recordsPath, err))
 				return
 			}
@@ -174,9 +180,6 @@ func main() {
 		WriteTimeout: *writeTO,
 		IdleTimeout:  *idleTO,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -214,7 +217,7 @@ func main() {
 // already up; /readyz carries the replay progress), installs the store,
 // and seeds it from recordsPath only when the replay produced an empty
 // store — a populated data dir already holds its records.
-func openDurableStore(srv *server.Server, model *learnrisk.Model, dir, recordsPath string, opts match.DurableOptions) {
+func openDurableStore(ctx context.Context, srv *server.Server, model *learnrisk.Model, dir, recordsPath string, opts match.DurableOptions) {
 	opts.Progress = func(phase string, done, total int) {
 		if total > 0 {
 			srv.SetNotReady(fmt.Sprintf("replaying durable store: %s %d/%d", phase, done, total))
@@ -244,9 +247,9 @@ func openDurableStore(srv *server.Server, model *learnrisk.Model, dir, recordsPa
 			log.Printf("skipping -records %s: the durable store already holds %d records", recordsPath, d.Len())
 		} else {
 			srv.SetNotReady(fmt.Sprintf("seeding durable store from %s", recordsPath))
-			n, err := warmLoadRecords(srv, recordsPath)
+			n, err := warmLoadRecords(ctx, srv, srv.MatchStore().Arity(), recordsPath)
 			if err != nil {
-				log.Printf("warm-load: %v", err)
+				log.Printf("warm-load: %v (after %d records)", err, n)
 				srv.SetNotReady(fmt.Sprintf("warm-load of %s failed: %v", recordsPath, err))
 				return
 			}
@@ -345,28 +348,44 @@ func publishDebugVars(srv *server.Server) {
 	}))
 }
 
-// warmLoadRecords loads a CSV table (the repository layout dataset.
-// ReadTableCSV reads: header row, then id,entity_id,<values...>) into the
-// server's match store. Only the schema arity matters for parsing —
-// attribute types drive metric selection at training time, not CSV layout
-// — so the schema handed to the reader carries zero-valued types.
-func warmLoadRecords(srv *server.Server, path string) (int, error) {
+// recordAdder is the slice of the server the warm-load needs: accept one
+// record's values. Narrowing the dependency keeps the load path testable
+// without a listener.
+type recordAdder interface {
+	AddRecord(values []string) (uint64, error)
+}
+
+// warmLoadRecords streams a CSV table (the repository layout dataset.
+// ScanTableCSV reads: header row, then id,entity_id,<values...>) into the
+// match store one row at a time — the file is never materialized as a
+// table, so a multi-gigabyte warm-load holds one record in memory. Only
+// the schema arity matters for parsing — attribute types drive metric
+// selection at training time, not CSV layout — so the schema handed to the
+// scanner carries zero-valued types.
+//
+// The context is checked per record: cancellation (SIGINT mid-load) stops
+// promptly with ctx.Err(). On any failure the returned count is the number
+// of records actually applied to the store — the accounting an operator
+// needs to judge a partially warmed replica.
+func warmLoadRecords(ctx context.Context, dst recordAdder, arity int, path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	schema := &dataset.Schema{Attrs: make([]dataset.Attr, srv.MatchStore().Arity())}
-	t, err := dataset.ReadTableCSV(f, path, schema)
-	if err != nil {
-		return 0, err
-	}
-	for i, r := range t.Records {
-		if _, err := srv.AddRecord(r.Values); err != nil {
-			return i, fmt.Errorf("%s record %d (id %q): %w", path, i, r.ID, err)
+	schema := &dataset.Schema{Attrs: make([]dataset.Attr, arity)}
+	loaded := 0
+	err = dataset.ScanTableCSV(f, path, schema, func(r dataset.Record) error {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-	}
-	return len(t.Records), nil
+		if _, err := dst.AddRecord(r.Values); err != nil {
+			return fmt.Errorf("%s record %d (id %q): %w", path, loaded, r.ID, err)
+		}
+		loaded++
+		return nil
+	})
+	return loaded, err
 }
 
 // obtainModel loads the artifact at path, or trains a fresh model on a

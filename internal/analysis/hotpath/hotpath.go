@@ -70,6 +70,7 @@ var TrustedFuncs = map[string]bool{
 	"(*repro/internal/metrics.Prepared).Reset":         true, // pinned by TestResetSteadyStateAllocs
 	"(*repro/internal/metrics.Prepared).Raw":           true, // accessor
 	"(repro/internal/classifier.Calibration).Bucket":   true, // binary search over a fixed table
+	"repro/internal/strutil.AppendNormalized":          true, // append-into normalization; growth is amortized against the reused buffer
 }
 
 func run(pass *analysis.Pass) error {

@@ -41,7 +41,20 @@ type Config struct {
 	MaxBlockSize int
 }
 
-func (c Config) withDefaults(arity int) Config {
+// Normalize resolves the config's zero values against the schema arity and
+// the package defaults, returning the clamped config. It is the one place
+// the clamp rules live — internal/match's Config delegates its shared
+// blocking fields here, so a probe against the incremental index and a
+// batch Candidates run can never drift on defaults.
+//
+// The negative-sentinel convention: zero means "use the default" for every
+// field, so a field whose default must be *disableable* uses a negative
+// value as the explicit off switch. MaxBlockSize < 0 disables stop-token
+// pruning entirely. MinSharedTokens has no meaningful off state (a pair
+// sharing zero tokens is every pair), so any value <= 0 resolves to
+// DefaultMinSharedTokens — an explicit MinSharedTokens: 0 becomes 1 by
+// design, not by accident.
+func (c Config) Normalize(arity int) Config {
 	if len(c.Attrs) == 0 {
 		for i := 0; i < arity; i++ {
 			c.Attrs = append(c.Attrs, i)
@@ -71,8 +84,54 @@ func (c Config) withDefaults(arity int) Config {
 // exactly the map implementation's (the property test in blocking_test.go
 // keeps the old implementation as the oracle).
 func Candidates(left, right *dataset.Table, cfg Config) []dataset.Pair {
-	cfg = cfg.withDefaults(len(left.Schema.Attrs))
+	cfg = cfg.Normalize(len(left.Schema.Attrs))
+	ix := buildCandidateIndex(right, cfg.Attrs)
 
+	// Phase 3 — parallel left scan. The arrays are pooled per worker, not
+	// allocated per chunk: a worker draining many chunks of a large table
+	// keeps one scratch, with the epoch running on across chunks.
+	scratchPool := sync.Pool{New: func() any { return ix.newScratch() }}
+	nLeft := len(left.Records)
+	lChunks := par.NumChunks(nLeft, blockChunk)
+	perChunk := make([][]dataset.Pair, lChunks)
+	par.ForChunks(nLeft, blockChunk, func(c, lo, hi int) {
+		ss := scratchPool.Get().(*scanScratch)
+		var out []dataset.Pair
+		for li := lo; li < hi; li++ {
+			out = ix.scanRecord(ss, left.Records[li], li, cfg, out)
+		}
+		scratchPool.Put(ss)
+		perChunk[c] = out
+	})
+
+	total := 0
+	for _, p := range perChunk {
+		total += len(p)
+	}
+	pairs := make([]dataset.Pair, 0, total)
+	for _, p := range perChunk {
+		pairs = append(pairs, p...)
+	}
+	return pairs
+}
+
+// candidateIndex is the built inverted token index over the right table:
+// the token intern map, the flat posting arena with prefix-sum offsets, and
+// the right table itself (for entity IDs at pair emission). It is immutable
+// after buildCandidateIndex and safe for concurrent scans — Candidates and
+// CandidateSeq share it, which is what makes their outputs identical by
+// construction rather than by parallel maintenance.
+type candidateIndex struct {
+	right     *dataset.Table
+	gids      map[string]int32
+	postOff   []int32
+	postArena []int32
+	nRight    int
+	nTokens   int
+}
+
+// buildCandidateIndex runs the index phases of token blocking.
+func buildCandidateIndex(right *dataset.Table, attrs []int) *candidateIndex {
 	// Phase 1 — parallel chunk-local inverted indexes over the right
 	// table: each worker tokenizes its records through a reusable
 	// normalization buffer and interns tokens to dense chunk-local ids.
@@ -80,7 +139,7 @@ func Candidates(left, right *dataset.Table, cfg Config) []dataset.Pair {
 	rChunks := par.NumChunks(nRight, blockChunk)
 	locals := make([]chunkIndex, rChunks)
 	par.ForChunks(nRight, blockChunk, func(c, lo, hi int) {
-		locals[c] = buildChunkIndex(right.Records[lo:hi], int32(lo), cfg.Attrs)
+		locals[c] = buildChunkIndex(right.Records[lo:hi], int32(lo), attrs)
 	})
 
 	// Phase 2 — deterministic merge into the global index: one flat
@@ -124,85 +183,78 @@ func Candidates(left, right *dataset.Table, cfg Config) []dataset.Pair {
 			}
 		}
 	}
-	posting := func(gid int32) []int32 { return postArena[postOff[gid]:postOff[gid+1]] }
-	nTokens := len(cnt)
-	locals, remaps = nil, nil
+	return &candidateIndex{
+		right:     right,
+		gids:      gids,
+		postOff:   postOff,
+		postArena: postArena,
+		nRight:    nRight,
+		nTokens:   len(cnt),
+	}
+}
 
-	// Phase 3 — parallel left scan with flat per-worker counter arrays:
-	// counts[ri] is valid only when stamp[ri] carries the current left
-	// record's epoch, so the nRight-sized arrays are never cleared between
-	// records; per-pair state is two int32 array cells, not a map entry.
-	// The arrays are pooled per worker, not allocated per chunk: a worker
-	// draining many chunks of a large table keeps one scratch, with the
-	// epoch running on across chunks.
-	scratchPool := sync.Pool{New: func() any {
-		return &scanScratch{
-			counts:  make([]int32, nRight),
-			stamp:   make([]int32, nRight),
-			tokSeen: make([]int32, nTokens),
-			touched: make([]int32, 0, 512),
+// posting returns the ascending right-record posting list of one token.
+//
+//vetkit:hotpath
+func (ix *candidateIndex) posting(gid int32) []int32 {
+	return ix.postArena[ix.postOff[gid]:ix.postOff[gid+1]]
+}
+
+// newScratch sizes a scanScratch for this index.
+func (ix *candidateIndex) newScratch() *scanScratch {
+	return &scanScratch{
+		counts:  make([]int32, ix.nRight),
+		stamp:   make([]int32, ix.nRight),
+		tokSeen: make([]int32, ix.nTokens),
+		touched: make([]int32, 0, 512),
+	}
+}
+
+// scanRecord scans one left record against the index and appends its
+// candidate pairs (ascending right order) to out. It is the shared
+// per-record core of Candidates and CandidateSeq: counts[ri] is valid only
+// when stamp[ri] carries this record's epoch, so the nRight-sized arrays
+// are never cleared between records; per-pair state is two int32 array
+// cells, not a map entry.
+//
+//vetkit:hotpath
+func (ix *candidateIndex) scanRecord(ss *scanScratch, rec dataset.Record, li int, cfg Config, out []dataset.Pair) []dataset.Pair {
+	epoch := ss.nextEpoch()
+	ss.touched = ss.touched[:0]
+	ss.ts.tokenize(rec, cfg.Attrs)
+	for _, rg := range ss.ts.ranges {
+		gid, ok := ix.gids[string(ss.ts.buf[rg[0]:rg[1]])] // alloc-free lookup
+		if !ok {
+			continue // token absent from the right table
 		}
-	}}
-	nLeft := len(left.Records)
-	lChunks := par.NumChunks(nLeft, blockChunk)
-	perChunk := make([][]dataset.Pair, lChunks)
-	par.ForChunks(nLeft, blockChunk, func(c, lo, hi int) {
-		ss := scratchPool.Get().(*scanScratch)
-		counts, stamp, tokSeen := ss.counts, ss.stamp, ss.tokSeen
-		touched := ss.touched
-		ts := &ss.ts
-		var out []dataset.Pair
-		for li := lo; li < hi; li++ {
-			epoch := ss.nextEpoch()
-			touched = touched[:0]
-			ts.tokenize(left.Records[li], cfg.Attrs)
-			for _, rg := range ts.ranges {
-				gid, ok := gids[string(ts.buf[rg[0]:rg[1]])] // alloc-free lookup
-				if !ok {
-					continue // token absent from the right table
-				}
-				if tokSeen[gid] == epoch {
-					continue // distinct-token semantics within a record
-				}
-				tokSeen[gid] = epoch
-				block := posting(gid)
-				if cfg.MaxBlockSize > 0 && len(block) > cfg.MaxBlockSize {
-					continue
-				}
-				for _, ri := range block {
-					if stamp[ri] != epoch {
-						stamp[ri] = epoch
-						counts[ri] = 1
-						touched = append(touched, ri)
-					} else {
-						counts[ri]++
-					}
-				}
-			}
-			slices.Sort(touched) // deterministic ascending right order
-			leftEnt := left.Records[li].EntityID
-			for _, ri := range touched {
-				if int(counts[ri]) < cfg.MinSharedTokens {
-					continue
-				}
-				match := leftEnt != "" && leftEnt == right.Records[ri].EntityID
-				out = append(out, dataset.Pair{Left: li, Right: int(ri), Match: match})
+		if ss.tokSeen[gid] == epoch {
+			continue // distinct-token semantics within a record
+		}
+		ss.tokSeen[gid] = epoch
+		block := ix.posting(gid)
+		if cfg.MaxBlockSize > 0 && len(block) > cfg.MaxBlockSize {
+			continue
+		}
+		for _, ri := range block {
+			if ss.stamp[ri] != epoch {
+				ss.stamp[ri] = epoch
+				ss.counts[ri] = 1
+				ss.touched = append(ss.touched, ri)
+			} else {
+				ss.counts[ri]++
 			}
 		}
-		ss.touched = touched
-		scratchPool.Put(ss)
-		perChunk[c] = out
-	})
-
-	total := 0
-	for _, p := range perChunk {
-		total += len(p)
 	}
-	pairs := make([]dataset.Pair, 0, total)
-	for _, p := range perChunk {
-		pairs = append(pairs, p...)
+	slices.Sort(ss.touched) // deterministic ascending right order
+	leftEnt := rec.EntityID
+	for _, ri := range ss.touched {
+		if int(ss.counts[ri]) < cfg.MinSharedTokens {
+			continue
+		}
+		match := leftEnt != "" && leftEnt == ix.right.Records[ri].EntityID
+		out = append(out, dataset.Pair{Left: li, Right: int(ri), Match: match})
 	}
-	return pairs
+	return out
 }
 
 // blockChunk is the record granularity of the parallel phases: large
@@ -224,6 +276,8 @@ type scanScratch struct {
 
 // nextEpoch advances the scratch's epoch, clearing the stamp arrays on the
 // (practically unreachable) int32 wrap so stale stamps can never collide.
+//
+//vetkit:hotpath
 func (ss *scanScratch) nextEpoch() int32 {
 	ss.epoch++
 	if ss.epoch == 0 { // wrapped
@@ -245,6 +299,8 @@ type tokenScratch struct {
 // tokenize fills the scratch with the record's blocking tokens (length
 // >= 2 bytes, the single-character filter of the historical map
 // implementation). Tokens never span attribute values.
+//
+//vetkit:hotpath
 func (ts *tokenScratch) tokenize(r dataset.Record, attrs []int) {
 	ts.buf = ts.buf[:0]
 	ts.ranges = ts.ranges[:0]

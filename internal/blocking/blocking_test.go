@@ -124,7 +124,7 @@ func TestRecallNoEntities(t *testing.T) {
 // (map[[2]int]int shared-token counts plus a final sort), kept verbatim as
 // the oracle for the inverted-index rewrite.
 func oracleCandidates(left, right *dataset.Table, cfg Config) []dataset.Pair {
-	cfg = cfg.withDefaults(len(left.Schema.Attrs))
+	cfg = cfg.Normalize(len(left.Schema.Attrs))
 
 	index := make(map[string][]int)
 	for ri, r := range right.Records {

@@ -262,12 +262,27 @@ func TrainRows(w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [
 // epochsTotal) after each epoch. With a background context and nil progress
 // it is exactly TrainRows.
 func TrainRowsCtx(ctx context.Context, w *dataset.Workload, cat *metrics.Catalog, trainIdx []int, rows [][]float64, cfg Config, progress func(done, total int)) (*Matcher, error) {
-	cfg = cfg.withDefaults()
 	if len(trainIdx) == 0 {
 		return nil, errors.New("classifier: empty training set")
 	}
 	if len(rows) != len(trainIdx) {
 		return nil, fmt.Errorf("classifier: %d rows for %d training indices", len(rows), len(trainIdx))
+	}
+	return TrainRowsFlagsCtx(ctx, cat, rows, matchFlags(w, trainIdx), cfg, progress)
+}
+
+// TrainRowsFlagsCtx is the core of TrainRowsCtx over bare ground-truth
+// flags (match[k] for rows[k]) instead of a workload and index list — the
+// entry point for the streaming batch path, whose training rows arrive
+// without a materialized pair list. With flags gathered from w.Pairs it is
+// exactly TrainRowsCtx.
+func TrainRowsFlagsCtx(ctx context.Context, cat *metrics.Catalog, rows [][]float64, match []bool, cfg Config, progress func(done, total int)) (*Matcher, error) {
+	cfg = cfg.withDefaults()
+	if len(rows) == 0 {
+		return nil, errors.New("classifier: empty training set")
+	}
+	if len(rows) != len(match) {
+		return nil, fmt.Errorf("classifier: %d rows for %d training flags", len(rows), len(match))
 	}
 	m, err := newMatcher(cat, cfg)
 	if err != nil {
@@ -275,7 +290,7 @@ func TrainRowsCtx(ctx context.Context, w *dataset.Workload, cat *metrics.Catalog
 	}
 	xs := make([][]float64, len(rows))
 	par.For(len(rows), func(k int) { xs[k] = m.InputFromRow(rows[k]) })
-	if err := m.fit(ctx, xs, matchFlags(w, trainIdx), cfg, progress); err != nil {
+	if err := m.fit(ctx, xs, match, cfg, progress); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -356,7 +371,12 @@ type Labeled struct {
 
 // Label labels the pairs at the given workload indices.
 func (m *Matcher) Label(w *dataset.Workload, idx []int) Labeled {
-	l := newLabeled(w, idx)
+	l := Labeled{
+		Idx:   append([]int(nil), idx...),
+		Prob:  make([]float64, len(idx)),
+		Label: make([]bool, len(idx)),
+		Truth: make([]bool, len(idx)),
+	}
 	for k, i := range idx {
 		p := m.Prob(w, i)
 		l.Prob[k] = p
@@ -370,23 +390,30 @@ func (m *Matcher) Label(w *dataset.Workload, idx []int) Labeled {
 // full-catalog metric rows (one per index), in parallel. The result is
 // identical to Label.
 func (m *Matcher) LabelRows(w *dataset.Workload, idx []int, rows [][]float64) Labeled {
-	l := newLabeled(w, idx)
+	truth := make([]bool, len(idx))
+	for k, i := range idx {
+		truth[k] = w.Pairs[i].Match
+	}
+	return m.LabelRowsTruth(idx, rows, truth)
+}
+
+// LabelRowsTruth is LabelRows over bare ground-truth flags (truth[k] for
+// idx[k]/rows[k]) instead of a workload — the streaming batch path's form,
+// where flags came from the one blocking pass. With truth gathered from
+// w.Pairs it is exactly LabelRows.
+func (m *Matcher) LabelRowsTruth(idx []int, rows [][]float64, truth []bool) Labeled {
+	l := Labeled{
+		Idx:   append([]int(nil), idx...),
+		Prob:  make([]float64, len(idx)),
+		Label: make([]bool, len(idx)),
+		Truth: append([]bool(nil), truth...),
+	}
 	par.For(len(idx), func(k int) {
 		p := m.ProbRow(rows[k])
 		l.Prob[k] = p
 		l.Label[k] = p >= 0.5
-		l.Truth[k] = w.Pairs[idx[k]].Match
 	})
 	return l
-}
-
-func newLabeled(w *dataset.Workload, idx []int) Labeled {
-	return Labeled{
-		Idx:   append([]int(nil), idx...),
-		Prob:  make([]float64, len(idx)),
-		Label: make([]bool, len(idx)),
-		Truth: make([]bool, len(idx)),
-	}
 }
 
 // Mislabeled reports whether position k is mislabeled (the positive class

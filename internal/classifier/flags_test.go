@@ -1,0 +1,55 @@
+package classifier
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/featstore"
+)
+
+// TestTrainRowsFlagsMatchesTrainRows pins the delegation: training from
+// bare flags produces the exact matcher TrainRowsCtx builds from the
+// workload, and LabelRowsTruth reproduces LabelRows bit-for-bit.
+func TestTrainRowsFlagsMatchesTrainRows(t *testing.T) {
+	store := featstore.New(testW, testCat)
+	trainIdx := testSplit.Train[:80]
+	rows := store.Rows(trainIdx)
+	cfg := Config{Epochs: 8, Seed: 11}
+
+	viaIdx, err := TrainRowsCtx(context.Background(), testW, testCat, trainIdx, rows, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := make([]bool, len(trainIdx))
+	for k, i := range trainIdx {
+		flags[k] = testW.Pairs[i].Match
+	}
+	viaFlags, err := TrainRowsFlagsCtx(context.Background(), testCat, rows, flags, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testIdx := testSplit.Test[:50]
+	testRows := store.Rows(testIdx)
+	want := viaIdx.LabelRows(testW, testIdx, testRows)
+	truth := make([]bool, len(testIdx))
+	for k, i := range testIdx {
+		truth[k] = testW.Pairs[i].Match
+	}
+	got := viaFlags.LabelRowsTruth(testIdx, testRows, truth)
+	for k := range want.Idx {
+		if got.Prob[k] != want.Prob[k] || got.Label[k] != want.Label[k] ||
+			got.Truth[k] != want.Truth[k] || got.Idx[k] != want.Idx[k] {
+			t.Fatalf("position %d diverged: %+v vs %+v",
+				k, []any{got.Idx[k], got.Prob[k], got.Label[k], got.Truth[k]},
+				[]any{want.Idx[k], want.Prob[k], want.Label[k], want.Truth[k]})
+		}
+	}
+
+	if _, err := TrainRowsFlagsCtx(context.Background(), testCat, nil, nil, cfg, nil); err == nil {
+		t.Error("empty rows should fail")
+	}
+	if _, err := TrainRowsFlagsCtx(context.Background(), testCat, rows, flags[:1], cfg, nil); err == nil {
+		t.Error("rows/flags length mismatch should fail")
+	}
+}

@@ -30,29 +30,56 @@ func WriteTableCSV(w io.Writer, t *Table) error {
 // file with the same layout) under the given schema. Rows shorter than the
 // schema are padded with empty values; longer rows are an error.
 func ReadTableCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
+	t := &Table{Name: name, Schema: schema}
+	err := ScanTableCSV(r, name, schema, func(rec Record) error {
+		t.Records = append(t.Records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ScanTableCSV is the streaming form of ReadTableCSV: it reads the same
+// layout row by row and calls fn for each record instead of materializing a
+// table, so warm-loading a large CSV holds one row in memory at a time.
+// Validation and error strings match ReadTableCSV (short rows padded,
+// oversized rows an error); the only difference is that fn has already seen
+// the rows preceding a malformed one. An fn error stops the scan and is
+// returned verbatim, letting callers abort on context cancellation. Each
+// Record's Values slice is freshly allocated and safe to retain.
+func ScanTableCSV(r io.Reader, name string, schema *Schema, fn func(Record) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading %s: %w", name, err)
+	cr.ReuseRecord = true
+	if _, err := cr.Read(); err != nil { // header
+		if err == io.EOF {
+			return fmt.Errorf("dataset: %s: empty CSV", name)
+		}
+		return fmt.Errorf("dataset: reading %s: %w", name, err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: %s: empty CSV", name)
-	}
-	t := &Table{Name: name, Schema: schema}
-	for i, row := range rows[1:] { // skip header
+	for rowNum := 2; ; rowNum++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: reading %s: %w", name, err)
+		}
 		if len(row) < 2 {
-			return nil, fmt.Errorf("dataset: %s row %d: need id and entity_id columns", name, i+2)
+			return fmt.Errorf("dataset: %s row %d: need id and entity_id columns", name, rowNum)
 		}
 		if len(row) > 2+len(schema.Attrs) {
-			return nil, fmt.Errorf("dataset: %s row %d: %d columns exceed schema arity %d",
-				name, i+2, len(row)-2, len(schema.Attrs))
+			return fmt.Errorf("dataset: %s row %d: %d columns exceed schema arity %d",
+				name, rowNum, len(row)-2, len(schema.Attrs))
 		}
 		values := make([]string, len(schema.Attrs))
 		copy(values, row[2:])
-		t.Records = append(t.Records, Record{ID: row[0], EntityID: row[1], Values: values})
+		if err := fn(Record{ID: row[0], EntityID: row[1], Values: values}); err != nil {
+			return err
+		}
 	}
-	return t, nil
 }
 
 // WritePairsCSV writes the workload's pairs as left_id,right_id,match rows.

@@ -163,14 +163,27 @@ func ParseRatio(ratio string) (t, v, s float64, err error) {
 // three parts by a pre-specified ratio"). The split is deterministic in the
 // seed.
 func (w *Workload) SplitPairs(ratio string, seed uint64) (Split, error) {
+	match := make([]bool, len(w.Pairs))
+	for i, p := range w.Pairs {
+		match[i] = p.Match
+	}
+	return SplitFlags(match, ratio, seed)
+}
+
+// SplitFlags is SplitPairs over bare ground-truth flags: it partitions the
+// indices 0..len(match)-1 by the ratio string, stratified by flag, with the
+// same RNG consumption order as SplitPairs — a workload whose pair i has
+// Match == match[i] splits identically. The streaming batch path uses it to
+// split from a one-pass flag scan without materializing the pair list.
+func SplitFlags(match []bool, ratio string, seed uint64) (Split, error) {
 	ft, fv, _, err := ParseRatio(ratio)
 	if err != nil {
 		return Split{}, err
 	}
 	rng := stats.NewRNG(seed)
 	var matches, nonMatches []int
-	for i, p := range w.Pairs {
-		if p.Match {
+	for i, m := range match {
+		if m {
 			matches = append(matches, i)
 		} else {
 			nonMatches = append(nonMatches, i)

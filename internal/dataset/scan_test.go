@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSplitFlagsMatchesSplitPairs is the extraction property: SplitFlags
+// over a workload's Match flags must reproduce SplitPairs exactly — same
+// parts, same order — across fuzzed class mixes, ratios and seeds.
+func TestSplitFlagsMatchesSplitPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := tinyWorkload()
+	for trial := 0; trial < 25; trial++ {
+		w := &Workload{Left: base.Left, Right: base.Right}
+		n := 20 + rng.Intn(200)
+		flags := make([]bool, n)
+		for i := 0; i < n; i++ {
+			flags[i] = rng.Intn(4) == 0
+			w.Pairs = append(w.Pairs, Pair{Left: i % 3, Right: (i + 1) % 3, Match: flags[i]})
+		}
+		ratio := []string{"3:2:5", "1:1:1", "6:2:2"}[rng.Intn(3)]
+		seed := rng.Uint64()
+		want, errW := w.SplitPairs(ratio, seed)
+		got, errG := SplitFlags(flags, ratio, seed)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: SplitPairs err %v, SplitFlags err %v", trial, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		for part, pair := range map[string][2][]int{
+			"train": {want.Train, got.Train},
+			"valid": {want.Valid, got.Valid},
+			"test":  {want.Test, got.Test},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("trial %d %s: %d vs %d indices", trial, part, len(pair[0]), len(pair[1]))
+			}
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("trial %d %s diverged at %d: %d vs %d", trial, part, i, pair[0][i], pair[1][i])
+				}
+			}
+		}
+	}
+	if _, err := SplitFlags([]bool{true, false}, "bogus", 1); err == nil {
+		t.Error("bad ratio should fail")
+	}
+	if _, err := SplitFlags([]bool{true, false}, "1:1:1", 1); err == nil {
+		t.Error("too-small flag set should fail to split")
+	}
+}
+
+// TestScanTableCSVMatchesRead: the streaming scanner yields the exact
+// record sequence ReadTableCSV materializes, including padded short rows
+// and quoted multi-line values.
+func TestScanTableCSVMatchesRead(t *testing.T) {
+	schema := tinyWorkload().Left.Schema
+	rng := rand.New(rand.NewSource(23))
+	var sb strings.Builder
+	sb.WriteString("id,entity_id,title,year\n")
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(4) {
+		case 0: // short row, padded
+			fmt.Fprintf(&sb, "r%d,e%d\n", i, rng.Intn(50))
+		case 1: // quoted value with embedded newline and comma
+			fmt.Fprintf(&sb, "r%d,,\"line one\nline, two\",%d\n", i, 1990+rng.Intn(30))
+		default:
+			fmt.Fprintf(&sb, "r%d,e%d,title %d words,%d\n", i, rng.Intn(50), i, 1990+rng.Intn(30))
+		}
+	}
+	raw := sb.String()
+	want, err := ReadTableCSV(strings.NewReader(raw), "x", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := ScanTableCSV(strings.NewReader(raw), "x", schema, func(rec Record) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Records) {
+		t.Fatalf("scanned %d records, read %d", len(got), len(want.Records))
+	}
+	for i, rec := range got {
+		w := want.Records[i]
+		if rec.ID != w.ID || rec.EntityID != w.EntityID {
+			t.Fatalf("record %d ids: %+v vs %+v", i, rec, w)
+		}
+		if len(rec.Values) != len(w.Values) {
+			t.Fatalf("record %d arity %d vs %d", i, len(rec.Values), len(w.Values))
+		}
+		for a := range rec.Values {
+			if rec.Values[a] != w.Values[a] {
+				t.Fatalf("record %d value %d: %q vs %q", i, a, rec.Values[a], w.Values[a])
+			}
+		}
+	}
+}
+
+// TestScanTableCSVErrors pins the error strings shared with ReadTableCSV
+// and the rows-before-failure delivery the streaming contract allows.
+func TestScanTableCSVErrors(t *testing.T) {
+	schema := tinyWorkload().Left.Schema
+	discard := func(Record) error { return nil }
+
+	err := ScanTableCSV(strings.NewReader(""), "x", schema, discard)
+	if err == nil || !strings.Contains(err.Error(), "empty CSV") {
+		t.Errorf("empty input: %v", err)
+	}
+	// Header-only is zero records, no error — same as ReadTableCSV.
+	if err := ScanTableCSV(strings.NewReader("id,entity_id,title,year\n"), "x", schema, discard); err != nil {
+		t.Errorf("header only: %v", err)
+	}
+	seen := 0
+	count := func(Record) error { seen++; return nil }
+	bad := "id,entity_id,title,year\nr1,e1,a,1\nr2\n"
+	err = ScanTableCSV(strings.NewReader(bad), "x", schema, count)
+	if err == nil || !strings.Contains(err.Error(), "row 3: need id and entity_id columns") {
+		t.Errorf("short row: %v", err)
+	}
+	if seen != 1 {
+		t.Errorf("rows before the failure: %d, want 1", seen)
+	}
+	wide := "id,entity_id,title,year\nr1,e1,a,b,c,d\n"
+	err = ScanTableCSV(strings.NewReader(wide), "x", schema, discard)
+	if err == nil || !strings.Contains(err.Error(), "row 2: 4 columns exceed schema arity 2") {
+		t.Errorf("oversized row: %v", err)
+	}
+	junk := "id,entity_id,title,year\nr1,e1,\"unterminated,1\n"
+	err = ScanTableCSV(strings.NewReader(junk), "x", schema, discard)
+	if err == nil || !strings.Contains(err.Error(), "dataset: reading x:") {
+		t.Errorf("csv syntax error: %v", err)
+	}
+	err = ScanTableCSV(strings.NewReader("\"bad header\nid,eid\n"), "x", schema, discard)
+	if err == nil || !strings.Contains(err.Error(), "dataset: reading x:") {
+		t.Errorf("bad header: %v", err)
+	}
+	boom := errors.New("boom")
+	ok := "id,entity_id,title,year\nr1,e1,a,1\nr2,e2,b,2\n"
+	calls := 0
+	err = ScanTableCSV(strings.NewReader(ok), "x", schema, func(Record) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Errorf("fn error: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestScanTableCSVRecordsAreRetainable: with the reader's row buffer
+// recycled between rows, delivered records must still be independently
+// owned by the callback.
+func TestScanTableCSVRecordsAreRetainable(t *testing.T) {
+	w := tinyWorkload()
+	var buf bytes.Buffer
+	if err := WriteTableCSV(&buf, w.Left); err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := ScanTableCSV(&buf, "L", w.Left.Schema, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if rec.ID != w.Left.Records[i].ID || rec.Values[0] != w.Left.Records[i].Values[0] {
+			t.Errorf("retained record %d corrupted: %+v", i, rec)
+		}
+	}
+}

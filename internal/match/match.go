@@ -59,17 +59,15 @@ type Config struct {
 }
 
 func (c Config) withDefaults(arity int) Config {
-	if len(c.Attrs) == 0 {
-		for i := 0; i < arity; i++ {
-			c.Attrs = append(c.Attrs, i)
-		}
-	}
-	if c.MinSharedTokens <= 0 {
-		c.MinSharedTokens = blocking.DefaultMinSharedTokens
-	}
-	if c.MaxBlockSize == 0 {
-		c.MaxBlockSize = blocking.DefaultMaxBlockSize
-	}
+	// The shared blocking fields resolve through blocking.Config.Normalize —
+	// the single home of the clamp rules and the negative-sentinel
+	// convention — so this mirror cannot drift from the batch path.
+	b := blocking.Config{
+		Attrs:           c.Attrs,
+		MinSharedTokens: c.MinSharedTokens,
+		MaxBlockSize:    c.MaxBlockSize,
+	}.Normalize(arity)
+	c.Attrs, c.MinSharedTokens, c.MaxBlockSize = b.Attrs, b.MinSharedTokens, b.MaxBlockSize
 	if c.Shards <= 0 {
 		c.Shards = 16
 	}

@@ -133,19 +133,17 @@ func parseAttrType(s string) (metrics.AttrType, error) {
 	return 0, fmt.Errorf("learnrisk: unknown attribute type %q", s)
 }
 
-// LoadCSV loads a workload from two table CSVs (columns: id, entity_id,
-// then one per attribute) and, optionally, a pairs CSV (left_id, right_id,
-// match). When pairsPath is empty, candidate pairs are produced by token
-// blocking and ground truth is taken from the entity_id columns.
-func LoadCSV(name, leftPath, rightPath, pairsPath string, attrs []Attr) (*Workload, error) {
+// loadTableCSVs reads the two table CSVs of a workload under the schema
+// described by attrs — the shared front half of LoadCSV and LoadTablesCSV.
+func loadTableCSVs(name, leftPath, rightPath string, attrs []Attr) (left, right *dataset.Table, err error) {
 	if len(attrs) == 0 {
-		return nil, errors.New("learnrisk: schema attrs required")
+		return nil, nil, errors.New("learnrisk: schema attrs required")
 	}
 	schema := &dataset.Schema{Name: name}
 	for _, a := range attrs {
 		t, err := parseAttrType(a.Type)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		schema.Attrs = append(schema.Attrs, dataset.Attr{Name: a.Name, Type: t})
 	}
@@ -157,11 +155,21 @@ func LoadCSV(name, leftPath, rightPath, pairsPath string, attrs []Attr) (*Worklo
 		defer f.Close()
 		return dataset.ReadTableCSV(f, tname, schema)
 	}
-	left, err := readTable(leftPath, name+"-left")
-	if err != nil {
-		return nil, err
+	if left, err = readTable(leftPath, name+"-left"); err != nil {
+		return nil, nil, err
 	}
-	right, err := readTable(rightPath, name+"-right")
+	if right, err = readTable(rightPath, name+"-right"); err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+// LoadCSV loads a workload from two table CSVs (columns: id, entity_id,
+// then one per attribute) and, optionally, a pairs CSV (left_id, right_id,
+// match). When pairsPath is empty, candidate pairs are produced by token
+// blocking and ground truth is taken from the entity_id columns.
+func LoadCSV(name, leftPath, rightPath, pairsPath string, attrs []Attr) (*Workload, error) {
+	left, right, err := loadTableCSVs(name, leftPath, rightPath, attrs)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +188,24 @@ func LoadCSV(name, leftPath, rightPath, pairsPath string, attrs []Attr) (*Worklo
 		}
 		inner.Pairs = pairs
 	}
+	if err := inner.Validate(); err != nil {
+		return nil, err
+	}
+	return wrap(inner), nil
+}
+
+// LoadTablesCSV loads a tables-only workload: the two table CSVs, no
+// materialized candidate-pair list. It is the entry point of the streaming
+// batch path (TrainStream, RunStream): candidate pairs are produced lazily
+// by token blocking — the same pairs, in the same order, LoadCSV with an
+// empty pairsPath materializes — and never held in memory at once. The
+// workload's Size reports 0; hand it to the streaming functions, not Run.
+func LoadTablesCSV(name, leftPath, rightPath string, attrs []Attr) (*Workload, error) {
+	left, right, err := loadTableCSVs(name, leftPath, rightPath, attrs)
+	if err != nil {
+		return nil, err
+	}
+	inner := &dataset.Workload{Name: name, Left: left, Right: right}
 	if err := inner.Validate(); err != nil {
 		return nil, err
 	}

@@ -328,7 +328,34 @@ func (m *Model) Evaluate(w *Workload, idx []int) (*Report, error) {
 func (m *Model) evaluateOn(w *Workload, idx []int, store *featstore.Store) (*Report, error) {
 	testX := store.Rows(idx)
 	testLab := m.matcher.LabelRows(w.inner, idx, testX)
-	testInsts, testBad := core.BuildInstances(m.rset.Apply(testX), testLab)
+	fired := m.rset.Apply(testX)
+	return m.assembleReport(testLab, fired), nil
+}
+
+// coveredFraction is rules.RuleSet.Coverage over precomputed firing sets:
+// the fraction of rows on which at least one rule fires, with the same
+// zero-rows convention and the same integer-to-float division. The
+// streaming evaluation computes firings row by row and so never holds the
+// metric rows Coverage would need.
+func coveredFraction(fired [][]int) float64 {
+	if len(fired) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, f := range fired {
+		if len(f) > 0 {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(fired))
+}
+
+// assembleReport builds the Report from a labeling and its firing sets —
+// the shared tail of the materialized and streaming evaluation paths. Both
+// feed it identical inputs for the same pairs, so the reports (ranking
+// order included) are byte-identical.
+func (m *Model) assembleReport(testLab classifier.Labeled, fired [][]int) *Report {
+	testInsts, testBad := core.BuildInstances(fired, testLab)
 	risks := m.risk.RiskAll(testInsts)
 
 	rep := &Report{
@@ -337,7 +364,7 @@ func (m *Model) evaluateOn(w *Workload, idx []int, store *featstore.Store) (*Rep
 		ClassifierAccuracy: testLab.Accuracy(),
 		Mislabels:          testLab.MislabelCount(),
 		NumFeatures:        len(m.feats),
-		RuleCoverage:       m.rset.Coverage(testX),
+		RuleCoverage:       coveredFraction(fired),
 		model:              m.risk,
 		features:           m.feats,
 		artifact:           m,
@@ -356,7 +383,7 @@ func (m *Model) evaluateOn(w *Workload, idx []int, store *featstore.Store) (*Rep
 	sort.SliceStable(rep.Ranking, func(a, b int) bool {
 		return rep.Ranking[a].Risk > rep.Ranking[b].Risk
 	})
-	return rep, nil
+	return rep
 }
 
 // ErrPairArity marks a serving-path pair whose value count does not match

@@ -1,0 +1,286 @@
+package learnrisk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/blocking"
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dtree"
+	"repro/internal/featstore"
+	"repro/internal/par"
+	"repro/internal/rules"
+)
+
+// candidateSeq returns the workload's candidate pairs as a lazy stream.
+// With a materialized pair list the stream replays it; on a tables-only
+// workload (LoadTablesCSV) pairs are produced by token blocking — the
+// exact sequence blocking.Candidates materializes, emitted without ever
+// holding the full list. Each range over the returned sequence replays the
+// same pairs in the same order.
+func (w *Workload) candidateSeq() iter.Seq[dataset.Pair] {
+	if len(w.inner.Pairs) > 0 {
+		return func(yield func(dataset.Pair) bool) {
+			for _, p := range w.inner.Pairs {
+				if !yield(p) {
+					return
+				}
+			}
+		}
+	}
+	return blocking.CandidateSeq(w.inner.Left, w.inner.Right, blocking.Config{})
+}
+
+// flagCheckInterval is how often the pass-A flag scan polls the context.
+const flagCheckInterval = 8192
+
+// streamEvalChunk is the per-worker granularity of the streaming
+// evaluation's window scoring.
+const streamEvalChunk = 64
+
+// TrainStream is Train over a lazily streamed candidate-pair workload: the
+// pipeline consumes the pairs in bounded windows (internal/featstore's
+// Streamer over blocking's CandidateSeq) instead of materializing the pair
+// list and the full metric-row store. Memory holds the per-pair ground
+// truth flags plus the training and validation rows — never the candidate
+// list or the test rows. The resulting model is bit-identical to Train on
+// the equivalent materialized workload (same tables, pairs from token
+// blocking): same split, same weights, same Save bytes.
+//
+// Pair indices in the model's split (TrainPairs, TestPairs, ...) are
+// stream positions — usable with EvaluateStream on the same workload.
+func TrainStream(ctx context.Context, w *Workload, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Pass A: ground-truth flags only — one bool per candidate pair, the
+	// minimum the stratified split needs.
+	var flags []bool
+	for p := range w.candidateSeq() {
+		if len(flags)%flagCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		flags = append(flags, p.Match)
+	}
+	split, err := dataset.SplitFlags(flags, opts.SplitRatio, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stream position -> (split part, slot within the part), so pass B can
+	// scatter each window's rows to their split-order positions.
+	part := make([]int8, len(flags))
+	slot := make([]int32, len(flags))
+	for k, i := range split.Train {
+		part[i], slot[i] = 1, int32(k)
+	}
+	for k, i := range split.Valid {
+		part[i], slot[i] = 2, int32(k)
+	}
+
+	// Pass B: metric rows of the train and valid parts, windowed. Only
+	// these rows are copied out; test rows wait for the evaluation pass.
+	width := len(w.cat.Metrics)
+	trainX := make([][]float64, len(split.Train))
+	validX := make([][]float64, len(split.Valid))
+	st := featstore.NewStreamer(w.cat, w.inner.Left, w.inner.Right, 0)
+	keep := func(i int) bool { return i < len(part) && part[i] != 0 }
+	n, err := st.Run(w.candidateSeq(), keep, func(base int, pairs []dataset.Pair, rows [][]float64) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for j, row := range rows {
+			if row == nil {
+				continue
+			}
+			i := base + j
+			cp := make([]float64, width)
+			copy(cp, row)
+			if part[i] == 1 {
+				trainX[slot[i]] = cp
+			} else {
+				validX[slot[i]] = cp
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n != len(flags) {
+		return nil, fmt.Errorf("learnrisk: candidate stream changed length between passes: %d then %d pairs", len(flags), n)
+	}
+
+	// From here the stages mirror trainWithStore exactly, over the
+	// split-ordered row copies instead of store views.
+	trainY := make([]bool, len(split.Train))
+	for k, i := range split.Train {
+		trainY[k] = flags[i]
+	}
+	matcher, err := classifier.TrainRowsFlagsCtx(ctx, w.cat, trainX, trainY, classifier.Config{
+		Epochs: opts.ClassifierEpochs, Seed: opts.Seed,
+	}, stageProgress(opts.Progress, "classifier"))
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: classifier training: %w", err)
+	}
+
+	feats, err := dtree.GenerateRiskFeaturesCtx(ctx, trainX, trainY, w.cat.Names(), dtree.OneSidedConfig{
+		MaxDepth: opts.RuleDepth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: rule generation: %w", err)
+	}
+	if opts.Progress != nil {
+		opts.Progress("rules", 1, 1)
+	}
+	rset, err := rules.Compile(feats, width)
+	if err != nil {
+		return nil, fmt.Errorf("learnrisk: rule compilation: %w", err)
+	}
+	stats := rset.Stats(trainX, trainY)
+	riskModel, err := core.New(core.BuildFeatures(feats, stats), core.Config{
+		Theta: opts.VaRConfidence, Epochs: opts.RiskEpochs, Seed: opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	validTruth := make([]bool, len(split.Valid))
+	for k, i := range split.Valid {
+		validTruth[k] = flags[i]
+	}
+	validLab := matcher.LabelRowsTruth(split.Valid, validX, validTruth)
+	validInsts, validBad := core.BuildInstances(rset.Apply(validX), validLab)
+	err = riskModel.FitCtx(ctx, validInsts, validBad, stageProgress(opts.Progress, "risk"))
+	if err != nil && !errors.Is(err, core.ErrNoTrainingSignal) {
+		return nil, fmt.Errorf("learnrisk: risk training: %w", err)
+	}
+
+	attrs := schemaAttrs(w)
+	opts.Progress = nil
+	return &Model{
+		attrs:   attrs,
+		fp:      fingerprintOf(attrs, w.cat.Names()),
+		opts:    opts,
+		cat:     w.cat,
+		matcher: matcher,
+		feats:   feats,
+		rset:    rset,
+		risk:    riskModel,
+		split:   split,
+	}, nil
+}
+
+// RunStream is Run over a lazily streamed workload: TrainStream followed
+// by the streaming evaluation of the test part. For the same tables,
+// options and seed the report is byte-identical to Run on the equivalent
+// materialized workload, while peak memory stays bounded by the split rows
+// actually trained on plus one streaming window.
+func RunStream(w *Workload, opts Options) (*Report, error) {
+	return RunStreamCtx(context.Background(), w, opts)
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation and progress
+// reporting (see TrainStream).
+func RunStreamCtx(ctx context.Context, w *Workload, opts Options) (*Report, error) {
+	m, err := TrainStream(ctx, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.evaluateStream(w, m.TestPairs())
+}
+
+// EvaluateStream is Evaluate over the workload's streamed candidate pairs:
+// idx selects stream positions (for a tables-only workload, positions in
+// the token-blocking sequence — the split indices a TrainStream model
+// reports). Metric rows for the selected pairs are computed in bounded
+// windows and scored immediately; nothing sized by the stream survives the
+// call. The report is byte-identical to Evaluate over the materialized
+// equivalent.
+func (m *Model) EvaluateStream(w *Workload, idx []int) (*Report, error) {
+	if err := m.CompatibleWith(w); err != nil {
+		return nil, err
+	}
+	if len(idx) == 0 {
+		return nil, errors.New("learnrisk: Evaluate needs at least one pair index")
+	}
+	for _, i := range idx {
+		if i < 0 || (len(w.inner.Pairs) > 0 && i >= w.Size()) {
+			return nil, fmt.Errorf("learnrisk: pair index %d outside workload of %d pairs", i, w.Size())
+		}
+	}
+	return m.evaluateStream(w, idx)
+}
+
+// evaluateStream scores the pairs at the given stream positions window by
+// window: each kept row yields its classifier probability and fired-rule
+// set on the spot (through the pooled scoring scratch), and only those
+// per-pair results — never the rows — are retained for the report.
+func (m *Model) evaluateStream(w *Workload, idx []int) (*Report, error) {
+	slots := make(map[int][]int, len(idx))
+	for k, i := range idx {
+		slots[i] = append(slots[i], k)
+	}
+	probs := make([]float64, len(idx))
+	truth := make([]bool, len(idx))
+	fired := make([][]int, len(idx))
+	delivered := 0
+
+	st := featstore.NewStreamer(m.cat, w.inner.Left, w.inner.Right, 0)
+	keep := func(i int) bool { return len(slots[i]) > 0 }
+	_, err := st.Run(w.candidateSeq(), keep, func(base int, pairs []dataset.Pair, rows [][]float64) error {
+		par.ForChunks(len(rows), streamEvalChunk, func(_, lo, hi int) {
+			s := m.acquireScratch()
+			for j := lo; j < hi; j++ {
+				row := rows[j]
+				if row == nil {
+					continue
+				}
+				p := m.matcher.ProbRowScratch(row, s.prob)
+				m.rset.ApplyRowBitset(row, s.rules)
+				s.fired = s.rules.AppendFired(s.fired[:0])
+				var f []int
+				if len(s.fired) > 0 {
+					f = append([]int(nil), s.fired...)
+				}
+				for _, k := range slots[base+j] {
+					probs[k] = p
+					truth[k] = pairs[j].Match
+					fired[k] = f
+				}
+			}
+			m.pool.Put(s)
+		})
+		for j, row := range rows {
+			if row != nil {
+				delivered += len(slots[base+j])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if delivered != len(idx) {
+		return nil, fmt.Errorf("learnrisk: %d of %d pair indices beyond the candidate stream's end", len(idx)-delivered, len(idx))
+	}
+
+	lab := classifier.Labeled{
+		Idx:   append([]int(nil), idx...),
+		Prob:  probs,
+		Label: make([]bool, len(idx)),
+		Truth: truth,
+	}
+	for k, p := range probs {
+		lab.Label[k] = p >= 0.5
+	}
+	return m.assembleReport(lab, fired), nil
+}

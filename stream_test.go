@@ -1,0 +1,218 @@
+package learnrisk
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+// streamOracleWorkloads builds the oracle fixture: the same two generated
+// tables as (a) a materialized workload whose pairs come from token
+// blocking — exactly what LoadCSV without a pairs file produces — and (b) a
+// tables-only workload the streaming path blocks lazily.
+func streamOracleWorkloads(t *testing.T) (materialized, tablesOnly *Workload) {
+	t.Helper()
+	gw := datagen.MustGenerate(datagen.DS(7), 0.03)
+	pairs := blocking.Candidates(gw.Left, gw.Right, blocking.Config{})
+	if len(pairs) < 200 {
+		t.Fatalf("oracle fixture too sparse: %d blocked pairs", len(pairs))
+	}
+	materialized = wrap(&dataset.Workload{Name: "oracle", Left: gw.Left, Right: gw.Right, Pairs: pairs})
+	tablesOnly = wrap(&dataset.Workload{Name: "oracle", Left: gw.Left, Right: gw.Right})
+	return materialized, tablesOnly
+}
+
+// sameReport asserts byte-level equality of everything a Report exposes.
+func sameReport(t *testing.T, label string, want, got *Report) {
+	t.Helper()
+	if want.AUROC != got.AUROC || want.ClassifierF1 != got.ClassifierF1 ||
+		want.ClassifierAccuracy != got.ClassifierAccuracy || want.Mislabels != got.Mislabels ||
+		want.NumFeatures != got.NumFeatures || want.RuleCoverage != got.RuleCoverage {
+		t.Fatalf("%s: report scalars differ:\nwant %+v\ngot  %+v", label, want, got)
+	}
+	if len(want.Ranking) != len(got.Ranking) {
+		t.Fatalf("%s: ranking lengths differ: %d vs %d", label, len(want.Ranking), len(got.Ranking))
+	}
+	for i := range want.Ranking {
+		if want.Ranking[i] != got.Ranking[i] {
+			t.Fatalf("%s: ranking[%d] differs: %+v vs %+v", label, i, want.Ranking[i], got.Ranking[i])
+		}
+	}
+	wf, gf := want.Features(), got.Features()
+	if strings.Join(wf, "\n") != strings.Join(gf, "\n") {
+		t.Fatalf("%s: features differ:\n%v\nvs\n%v", label, wf, gf)
+	}
+	for _, rp := range want.Ranking[:min(5, len(want.Ranking))] {
+		we, wok := want.ExplainIndex(rp.PairIndex)
+		ge, gok := got.ExplainIndex(rp.PairIndex)
+		if wok != gok || strings.Join(we, "\n") != strings.Join(ge, "\n") {
+			t.Fatalf("%s: explanation of pair %d differs:\n%v\nvs\n%v", label, rp.PairIndex, we, ge)
+		}
+	}
+}
+
+func saveBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunStreamMatchesRun is the PR's acceptance oracle: the streamed
+// pipeline (lazy blocking -> windowed metric rows -> one-pass training and
+// evaluation) must be bit-identical to the materialized path — same pair
+// order, same split, same report bytes, same saved artifact — whether the
+// stream replays a materialized pair list or blocks the tables lazily.
+func TestRunStreamMatchesRun(t *testing.T) {
+	wm, ws := streamOracleWorkloads(t)
+	opts := Options{RiskEpochs: 80, ClassifierEpochs: 10, Seed: 7}
+
+	want, err := Run(wm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTables, err := RunStream(ws, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, "tables-only stream vs materialized run", want, fromTables)
+	fromPairs, err := RunStream(wm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, "materialized stream vs materialized run", want, fromPairs)
+
+	wantArt := saveBytes(t, want.Model())
+	if !bytes.Equal(wantArt, saveBytes(t, fromTables.Model())) {
+		t.Fatal("TrainStream artifact bytes differ from Train's")
+	}
+	if !bytes.Equal(wantArt, saveBytes(t, fromPairs.Model())) {
+		t.Fatal("TrainStream-over-pairs artifact bytes differ from Train's")
+	}
+}
+
+// TestEvaluateStreamMatchesEvaluate: one model, both evaluation paths, any
+// index subset — including duplicates, which the streamed position map must
+// fan out.
+func TestEvaluateStreamMatchesEvaluate(t *testing.T) {
+	wm, ws := streamOracleWorkloads(t)
+	opts := Options{RiskEpochs: 80, ClassifierEpochs: 10, Seed: 7}
+	m, err := Train(context.Background(), wm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := m.TestPairs()
+	idx = append(idx[:len(idx):len(idx)], idx[0], idx[0], idx[len(idx)/2])
+	want, err := m.Evaluate(wm, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EvaluateStream(ws, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, "EvaluateStream vs Evaluate", want, got)
+}
+
+func TestTrainStreamCancellation(t *testing.T) {
+	_, ws := streamOracleWorkloads(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainStream(ctx, ws, Options{ClassifierEpochs: 5, RiskEpochs: 10}); err == nil {
+		t.Fatal("canceled context should abort TrainStream")
+	}
+}
+
+func TestStreamErrorPaths(t *testing.T) {
+	wm, ws := streamOracleWorkloads(t)
+	if _, err := TrainStream(context.Background(), ws, Options{RuleDepth: -1}); err == nil {
+		t.Error("invalid options should fail")
+	}
+	m, err := Train(context.Background(), wm, Options{RiskEpochs: 40, ClassifierEpochs: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EvaluateStream(ws, nil); err == nil {
+		t.Error("empty index set should fail")
+	}
+	if _, err := m.EvaluateStream(ws, []int{-1}); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := m.EvaluateStream(wm, []int{wm.Size()}); err == nil {
+		t.Error("out-of-range index on a materialized workload should fail")
+	}
+	// On a tables-only workload an index beyond the stream's end is only
+	// detectable after the stream ends.
+	if _, err := m.EvaluateStream(ws, []int{1 << 30}); err == nil {
+		t.Error("index beyond the candidate stream should fail")
+	}
+	// Schema mismatch.
+	other, err := Generate("AG", 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EvaluateStream(other, []int{0}); err == nil {
+		t.Error("mismatched schema should fail")
+	}
+}
+
+// TestLoadTablesCSVStreamsLoadCSVPairs: the tables-only loader plus lazy
+// blocking reproduces LoadCSV's blocked pair list exactly.
+func TestLoadTablesCSVStreamsLoadCSVPairs(t *testing.T) {
+	dir := t.TempDir()
+	leftCSV := "id,entity_id,title,year\nl0,e0,spatial join methods,1993\nl1,e1,query optimization,1998\nl2,e2,spatial query methods,1995\n"
+	rightCSV := "id,entity_id,title,year\nr0,e0,spatial join methods survey,1993\nr1,e1,query optimization techniques,1998\nr2,e9,spatial indexing,1995\n"
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	lp := write("left.csv", leftCSV)
+	rp := write("right.csv", rightCSV)
+	attrs := []Attr{{Name: "title", Type: "text"}, {Name: "year", Type: "numeric"}}
+
+	blocked, err := LoadCSV("csvtest", lp, rp, "", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := LoadTablesCSV("csvtest", lp, rp, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables.Size() != 0 {
+		t.Errorf("tables-only workload reports %d pairs, want 0", tables.Size())
+	}
+	var streamed []dataset.Pair
+	for p := range tables.candidateSeq() {
+		streamed = append(streamed, p)
+	}
+	if len(streamed) != blocked.Size() || len(streamed) == 0 {
+		t.Fatalf("streamed %d pairs, LoadCSV blocked %d", len(streamed), blocked.Size())
+	}
+	for i, p := range streamed {
+		if p != blocked.inner.Pairs[i] {
+			t.Fatalf("pair %d: streamed %+v, materialized %+v", i, p, blocked.inner.Pairs[i])
+		}
+	}
+
+	if _, err := LoadTablesCSV("x", "/nonexistent", rp, attrs); err == nil {
+		t.Error("missing left table should fail")
+	}
+	if _, err := LoadTablesCSV("x", lp, "/nonexistent", attrs); err == nil {
+		t.Error("missing right table should fail")
+	}
+	if _, err := LoadTablesCSV("x", lp, rp, nil); err == nil {
+		t.Error("empty schema should fail")
+	}
+}
