@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples build-cmds vet lint fmtcheck test race cover allocs tier1 crash bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5 bench-pr6 bench-pr8
+.PHONY: build build-examples build-cmds vet lint fmtcheck test race cover allocs tier1 crash bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5 bench-pr6 bench-pr8 bench-pr9
 
 build:
 	$(GO) build ./...
@@ -61,14 +61,14 @@ test:
 # (micro-batcher coalescing + model hot-swap under load).
 race:
 	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/... ./internal/blocking/...
-	$(GO) test -race ./internal/server/... ./internal/match/... ./internal/wal/...
+	$(GO) test -race ./internal/server/... ./internal/match/... ./internal/wal/... ./internal/partition/...
 	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent|TestResolveConcurrent' .
 
 # cover enforces statement-coverage floors on the serving-grade packages:
 # the HTTP/batching layer, the feature store, and the facade (golden
 # regression + Save/Load property tests live there). Raise the floors as
 # coverage grows; never lower them.
-COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 ./internal/match:80 ./internal/wal:85 ./internal/analysis:80 .:85
+COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 ./internal/match:80 ./internal/wal:85 ./internal/analysis:80 ./internal/partition:80 .:85
 
 cover:
 	@set -e; for pf in $(COVER_FLOORS); do \
@@ -155,3 +155,16 @@ bench-pr6:
 bench-pr8:
 	$(GO) run ./cmd/bench -out BENCH_PR8.json -label current -bench BatchPipeline -benchtime 3x \
 	  -compare BatchPipelineMaterialized,BatchPipelineStreamed
+
+# bench-pr9 refreshes BENCH_PR9.json — the partitioned scatter-gather
+# resolve path under closed-loop HTTP load (cmd/loadgen): the same mixed
+# add/delete/resolve traffic against a 1-partition and a 4-partition
+# server, stepping client concurrency and recording throughput plus
+# p50/p95/p99 resolve latency per step. The flat (unpartitioned) label
+# rides along as the zero-router baseline. See PERFORMANCE.md for the
+# crossover analysis.
+LOADGEN_FLAGS = -steps 1,2,4,8,16,32 -step-duration 2s -preload 400 -out BENCH_PR9.json
+bench-pr9:
+	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -partitions 0 -label flat
+	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -partitions 1 -label parts-1
+	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -partitions 4 -replicas 2 -label parts-4

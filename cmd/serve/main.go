@@ -42,6 +42,18 @@
 // With a populated -data-dir, -records is skipped (the store already has
 // its records); it seeds only an empty data dir.
 //
+// -partitions N shards the match store across N independent partitions:
+// records consistent-hash by ID, every resolve scatter-gathers across all
+// partitions concurrently and merges their top-k heaps into the same
+// ranked answer one flat store would return. -replicas R fans each
+// partition's reads across R replicas (power-of-two-choices). With
+// -data-dir, each partition persists into its own part-NNN subdirectory,
+// partitions replay concurrently at startup (restart time is the slowest
+// partition, not the sum), and /readyz lists per-partition replay
+// progress. -max-pending bounds in-flight record mutations; past the
+// bound, ingest answers 429 + Retry-After instead of queueing without
+// bound (back-pressure sheds writes, never resolves).
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
 // finish (bounded by -shutdown-timeout), then the micro-batcher stops, and
 // a durable store is closed last — its tail is rolled into a final
@@ -93,6 +105,9 @@ func main() {
 		snapEvery   = flag.Int("snapshot-every", 10000, "logged operations between automatic snapshots (negative disables; snapshots then happen only via POST /v1/snapshot and shutdown)")
 		minShared   = flag.Int("match-min-shared", 0, "blocking tokens a stored record must share with a probe (0 = default 1)")
 		maxBlock    = flag.Int("match-max-block", 0, "stop-token pruning bound for the match index (0 = default 200, negative disables)")
+		partitions  = flag.Int("partitions", 0, "partition the match store across this many independent partitions (scatter-gather resolve; 0 keeps one flat store)")
+		replicas    = flag.Int("replicas", 1, "read replicas per partition (power-of-two-choices fan-out; needs -partitions)")
+		maxPending  = flag.Int("max-pending", 0, "bounded ingest queue: record mutations beyond this many in flight answer 429 (0 = default 256 with -partitions, off without; negative disables)")
 		pprofAddr   = flag.String("pprof", "", "optional debug listener address (e.g. localhost:6060) exposing /debug/pprof and /debug/vars; empty disables it")
 		readTimeout = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
@@ -116,6 +131,9 @@ func main() {
 			MinSharedTokens: *minShared,
 			MaxBlockSize:    *maxBlock,
 		},
+		Partitions: *partitions,
+		Replicas:   *replicas,
+		MaxPending: *maxPending,
 	})
 	defer srv.Close()
 
@@ -132,6 +150,22 @@ func main() {
 	// durable replay (snapshot + WAL tail), optionally followed by a
 	// -records seed when the replayed store came up empty.
 	switch {
+	case *dataDir != "" && *partitions > 0:
+		policy, interval, err := wal.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.SetDurablePending()
+		srv.SetNotReady(fmt.Sprintf("opening %d durable match partitions in %s", *partitions, *dataDir))
+		go openPartitionedStore(ctx, srv, model, *dataDir, *recordsPath, *partitions, *replicas, match.Config{
+			MinSharedTokens: *minShared,
+			MaxBlockSize:    *maxBlock,
+		}, match.DurableOptions{
+			Sync:          policy,
+			SyncInterval:  interval,
+			SnapshotEvery: *snapEvery,
+			Logf:          log.Printf,
+		})
 	case *dataDir != "":
 		policy, interval, err := wal.ParseSyncPolicy(*fsyncFlag)
 		if err != nil {
@@ -210,6 +244,12 @@ func main() {
 			log.Printf("durable store close: %v", err)
 		}
 	}
+	if ps := srv.Partitioned(); ps != nil && ps.Durable() {
+		log.Printf("sealing %d durable match partitions (final snapshots)", ps.Partitions())
+		if err := ps.Close(); err != nil {
+			log.Printf("partitioned store close: %v", err)
+		}
+	}
 	log.Printf("served %d pairs across %d hot-swaps; bye", srv.Served(), srv.Swaps())
 }
 
@@ -254,6 +294,55 @@ func openDurableStore(ctx context.Context, srv *server.Server, model *learnrisk.
 				return
 			}
 			log.Printf("seeded %d records into the durable store", n)
+		}
+	}
+	srv.SetReady()
+}
+
+// openPartitionedStore replays every partition's data subdirectory
+// concurrently in the background (the listener is already up; /readyz
+// aggregates per-partition replay progress), installs the partitioned
+// store, and seeds it from recordsPath only when the replay produced an
+// empty store.
+func openPartitionedStore(ctx context.Context, srv *server.Server, model *learnrisk.Model, dir, recordsPath string, partitions, replicas int, cfg match.Config, opts match.DurableOptions) {
+	for i := 0; i < partitions; i++ {
+		srv.SetPartitionNotReady(i, "opening")
+	}
+	progress := func(part int, phase string, done, total int) {
+		if total > 0 {
+			srv.SetPartitionNotReady(part, fmt.Sprintf("replaying: %s %d/%d", phase, done, total))
+		} else {
+			srv.SetPartitionNotReady(part, fmt.Sprintf("replaying: %s %d ops", phase, done))
+		}
+	}
+	ps, err := model.OpenDurablePartitionedMatchStore(dir, partitions, replicas, cfg, opts, progress)
+	if err != nil {
+		// Same stance as the flat durable path: no silently empty replica.
+		log.Printf("partitioned store: %v", err)
+		srv.SetNotReady(fmt.Sprintf("partitioned store open failed: %v", err))
+		return
+	}
+	log.Printf("partitioned store %s: %d partitions, %d live records", dir, ps.Partitions(), ps.Len())
+	if err := srv.InstallPartitionedStore(ps); err != nil {
+		log.Printf("partitioned store: %v", err)
+		srv.SetNotReady(fmt.Sprintf("partitioned store install failed: %v", err))
+		return
+	}
+	for i := 0; i < partitions; i++ {
+		srv.SetPartitionReady(i)
+	}
+	if recordsPath != "" {
+		if ps.Len() > 0 {
+			log.Printf("skipping -records %s: the partitioned store already holds %d records", recordsPath, ps.Len())
+		} else {
+			srv.SetNotReady(fmt.Sprintf("seeding partitioned store from %s", recordsPath))
+			n, err := warmLoadRecords(ctx, srv, ps.Arity(), recordsPath)
+			if err != nil {
+				log.Printf("warm-load: %v (after %d records)", err, n)
+				srv.SetNotReady(fmt.Sprintf("warm-load of %s failed: %v", recordsPath, err))
+				return
+			}
+			log.Printf("seeded %d records into the partitioned store", n)
 		}
 	}
 	srv.SetReady()
@@ -304,6 +393,38 @@ func publishDebugVars(srv *server.Server) {
 			"probes":                    st.Probes,
 			"resolves":                  srv.Resolves(),
 			"mean_candidates_per_probe": mean,
+		}
+	}))
+
+	// Per-shard index counters (skew at a glance): the flat store's shards,
+	// or every partition's shards on a partitioned server.
+	expvar.Publish("match_shard_stats", expvar.Func(func() any {
+		if ps := srv.Partitioned(); ps != nil {
+			return map[string]any{"partitioned": true, "partitions": ps.PartitionShardStats()}
+		}
+		return map[string]any{"partitioned": false, "shards": srv.MatchStore().ShardStats()}
+	}))
+
+	// Scatter-gather router counters. Published even on a flat server (as
+	// {"enabled": false}) so dashboards can tell "not partitioned" from
+	// "metric missing".
+	expvar.Publish("partition_stats", expvar.Func(func() any {
+		ps := srv.Partitioned()
+		if ps == nil {
+			return map[string]any{"enabled": false}
+		}
+		st := ps.Stats()
+		return map[string]any{
+			"enabled":       true,
+			"partitions":    st.Partitions,
+			"replicas":      st.Replicas,
+			"records":       st.Records,
+			"pending":       st.Pending,
+			"probes":        st.Probes,
+			"pruned_tokens": st.PrunedTokens,
+			"census_tokens": st.CensusTokens,
+			"durable":       ps.Durable(),
+			"next_id":       ps.NextID(),
 		}
 	}))
 

@@ -426,6 +426,46 @@ func (d *DurableStore) Add(values []string) (uint64, error) {
 	return id, nil
 }
 
+// AddAt logs the record under a caller-chosen ID, then installs it: the
+// partitioned durable apply path, where a PartitionedStore assigns globally
+// unique IDs and each partition persists the records routed to it. The op
+// frame carries the ID (the same opAdd encoding Add logs), so replay
+// restores it exactly. The ID must not name a live record in this
+// partition.
+//
+//vetkit:wal-before-apply
+func (d *DurableStore) AddAt(id uint64, values []string) error {
+	if len(values) != d.Store.arity {
+		return fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), d.Store.arity, ErrArity)
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrDurableClosed
+	}
+	if d.Store.alive(id) {
+		d.mu.Unlock()
+		return fmt.Errorf("match: AddAt(%d): a live record already holds that ID", id)
+	}
+	d.opBuf = appendAddOp(d.opBuf[:0], id, values)
+	if err := d.log.Append(d.opBuf); err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("match: logging add: %w", err)
+	}
+	if err := d.Store.addAt(id, values); err != nil {
+		d.mu.Unlock()
+		return err // unreachable: arity was checked before logging
+	}
+	d.Store.advanceNextID(id + 1)
+	d.opsTail++
+	trigger := d.shouldSnapshotLocked()
+	d.mu.Unlock()
+	if trigger {
+		go d.backgroundSnapshot()
+	}
+	return nil
+}
+
 // Delete logs the tombstone, then applies it. Deleting an unknown or
 // already-deleted ID is (false, nil) and logs nothing.
 //

@@ -121,6 +121,9 @@ type recShard struct {
 type tokShard struct {
 	mu sync.RWMutex
 	m  map[string]*posting
+	// compactions counts posting-list compactions in this shard (mutated
+	// under mu; ShardStats reads it for skew observability).
+	compactions int64
 }
 
 // posting is one token's list of record IDs in insertion order. dead counts
@@ -219,6 +222,70 @@ func (s *Store) distinctTokens(a *addScratch, values []string) {
 		a.toks = append(a.toks, t)
 	}
 	clear(a.seen)
+}
+
+// AddAt stores a copy of the record's values under a caller-chosen stable
+// ID and indexes its distinct blocking tokens, raising the internal ID
+// allocator past it so later Add calls never collide. This is the
+// partition layer's ingest path: a partitioned store assigns globally
+// unique IDs itself (so tie-breaking ranks identically to one flat store)
+// and routes each record to the partition the ID hashes to. The ID must
+// not name a live record.
+func (s *Store) AddAt(id uint64, values []string) error {
+	rs := s.recShardOf(id)
+	rs.mu.RLock()
+	_, dup := rs.m[id]
+	rs.mu.RUnlock()
+	if dup {
+		return fmt.Errorf("match: AddAt(%d): a live record already holds that ID", id)
+	}
+	if err := s.addAt(id, values); err != nil {
+		return err
+	}
+	s.advanceNextID(id + 1)
+	return nil
+}
+
+// NextID reports the next record ID the store would assign. A partitioned
+// store derives its global allocator from the max across its partitions
+// after a durable replay.
+func (s *Store) NextID() uint64 { return s.nextID.Load() }
+
+// Range calls fn for every live record until it returns false. The values
+// slice is the store's immutable copy (the Get contract). Records are
+// visited in unspecified order under brief per-shard read locks; records
+// added or deleted concurrently may or may not be seen.
+func (s *Store) Range(fn func(id uint64, values []string) bool) {
+	for i := range s.recs {
+		rs := &s.recs[i]
+		rs.mu.RLock()
+		for id, vals := range rs.m {
+			if !fn(id, vals) {
+				rs.mu.RUnlock()
+				return
+			}
+		}
+		rs.mu.RUnlock()
+	}
+}
+
+// DistinctTokens calls fn for every distinct blocking token of values, in
+// first-appearance order. The strings are freshly interned — fn may retain
+// them. This is how the partition layer keeps its global token census in
+// the store's exact tokenization: census counts must agree with what a
+// probe of these values would touch, or global stop-token pruning drifts
+// from the single-store oracle.
+func (s *Store) DistinctTokens(values []string, fn func(tok string)) error {
+	if len(values) != s.arity {
+		return fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), s.arity, ErrArity)
+	}
+	a := s.addPool.Get().(*addScratch)
+	s.distinctTokens(a, values)
+	for _, t := range a.toks {
+		fn(t)
+	}
+	s.addPool.Put(a)
+	return nil
 }
 
 // Add stores a copy of the record's values under a fresh stable ID and
@@ -349,6 +416,7 @@ func (s *Store) compactPosting(sh *tokShard, tok string, p *posting) {
 	if len(p.ids) == 0 {
 		delete(sh.m, tok)
 	}
+	sh.compactions++
 	s.compactions.Add(1)
 }
 
@@ -419,6 +487,18 @@ type ProbeScratch struct {
 //
 //vetkit:hotpath
 func (s *Store) AppendCandidates(dst []uint64, values []string, ps *ProbeScratch) ([]uint64, error) {
+	return s.AppendCandidatesSkip(dst, values, ps, nil)
+}
+
+// AppendCandidatesSkip is AppendCandidates with a caller-supplied skip
+// list: probe tokens found in skip (sorted ascending) contribute no
+// candidates, exactly as if stop-token pruning had dropped them. This is
+// the partitioned store's scatter path — per-partition posting lists are
+// too small to prune on locally, so the partition layer decides pruning
+// from its global token census and passes the verdict down here.
+//
+//vetkit:hotpath
+func (s *Store) AppendCandidatesSkip(dst []uint64, values []string, ps *ProbeScratch, skip []string) ([]uint64, error) {
 	if len(values) != s.arity {
 		return dst, fmt.Errorf("match: probe has %d values, store schema has %d: %w", len(values), s.arity, ErrArity) //vetkit:allow hotpath cold schema-mismatch branch
 	}
@@ -427,6 +507,9 @@ func (s *Store) AppendCandidates(dst []uint64, values []string, ps *ProbeScratch
 	n := ps.ts.Tokenize(values, s.cfg.Attrs)
 	for i := 0; i < n; i++ {
 		tok := ps.ts.Token(i)
+		if skipHas(skip, tok) {
+			continue // globally pruned stop token
+		}
 		sh := s.tokShardOf(tok)
 		sh.mu.RLock()
 		p := sh.m[string(tok)] // alloc-free lookup
@@ -462,6 +545,46 @@ func (s *Store) AppendCandidates(dst []uint64, values []string, ps *ProbeScratch
 	return dst, nil
 }
 
+// skipHas reports whether tok is in the sorted skip list (binary search,
+// no []byte->string conversion on the probe path).
+//
+//vetkit:hotpath
+func skipHas(skip []string, tok []byte) bool {
+	lo, hi := 0, len(skip)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmpStringBytes(skip[mid], tok) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(skip) && cmpStringBytes(skip[lo], tok) == 0
+}
+
+// cmpStringBytes is bytes.Compare across the string/[]byte divide, so the
+// probe path never materializes a token string.
+//
+//vetkit:hotpath
+func cmpStringBytes(s string, b []byte) int {
+	n := min(len(s), len(b))
+	for i := 0; i < n; i++ {
+		if s[i] != b[i] {
+			if s[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(b):
+		return -1
+	case len(s) > len(b):
+		return 1
+	}
+	return 0
+}
+
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
 	Live        int   // live records
@@ -472,6 +595,41 @@ type Stats struct {
 	Compactions int64 // posting-list compactions performed
 	Probes      int64 // candidate-generation probes served
 	Candidates  int64 // candidates returned across all probes
+}
+
+// ShardStat is one shard's slice of the store: live records from the
+// record shard, posting/tombstone/compaction figures from the token shard
+// at the same index (the two arrays always share a shard count). The
+// match_shard_stats expvar surfaces these so hot-shard skew is observable.
+type ShardStat struct {
+	Records     int   `json:"records"`     // live records in the shard
+	Postings    int   `json:"postings"`    // distinct tokens indexed in the shard
+	Tombstones  int   `json:"tombstones"`  // tombstoned posting entries awaiting compaction
+	Compactions int64 `json:"compactions"` // posting-list compactions performed in the shard
+}
+
+// ShardStats snapshots every shard's counters (brief per-shard locks; the
+// tombstone figure sweeps the shard's posting lists, so this is a scrape
+// path, not a hot path).
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, s.cfg.Shards)
+	for i := range s.recs {
+		rs := &s.recs[i]
+		rs.mu.RLock()
+		out[i].Records = len(rs.m)
+		rs.mu.RUnlock()
+	}
+	for i := range s.toks {
+		sh := &s.toks[i]
+		sh.mu.RLock()
+		out[i].Postings = len(sh.m)
+		for _, p := range sh.m {
+			out[i].Tombstones += int(p.dead)
+		}
+		out[i].Compactions = sh.compactions
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Stats snapshots the counters (taking each shard lock briefly).

@@ -201,6 +201,172 @@ func TestTopK(t *testing.T) {
 	}
 }
 
+func TestAddAtNextIDRange(t *testing.T) {
+	s := mustStore(t, 1, Config{})
+	if err := s.AddAt(7, []string{"alpha beta"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAt(7, []string{"gamma"}); err == nil {
+		t.Error("AddAt over a live ID accepted")
+	}
+	if err := s.AddAt(2, []string{"gamma delta"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NextID(); got != 8 {
+		t.Errorf("NextID = %d, want 8 (past the highest AddAt)", got)
+	}
+	// A fresh Add must not collide with the installed IDs.
+	id, err := s.Add([]string{"epsilon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 8 {
+		t.Errorf("Add after AddAt(7) assigned %d, want 8", id)
+	}
+	if err := s.AddAt(7, []string{"dup"}); err == nil {
+		t.Error("AddAt(7) accepted twice")
+	}
+	// AddAt-installed records are indexed like any other.
+	var ps ProbeScratch
+	got, err := s.AppendCandidates(nil, []string{"gamma"}, &ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{2}; !slices.Equal(got, want) {
+		t.Errorf("candidates = %v, want %v", got, want)
+	}
+
+	seen := map[uint64]string{}
+	s.Range(func(id uint64, vals []string) bool {
+		seen[id] = vals[0]
+		return true
+	})
+	if len(seen) != 3 || seen[7] != "alpha beta" || seen[2] != "gamma delta" || seen[8] != "epsilon" {
+		t.Errorf("Range saw %v", seen)
+	}
+	n := 0
+	s.Range(func(uint64, []string) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Range ignored an early stop: visited %d", n)
+	}
+}
+
+func TestAppendCandidatesSkip(t *testing.T) {
+	s := mustStore(t, 1, Config{})
+	a, _ := s.Add([]string{"alpha beta"})
+	b, _ := s.Add([]string{"beta gamma"})
+	var ps ProbeScratch
+
+	got, err := s.AppendCandidatesSkip(nil, []string{"alpha beta gamma"}, &ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{a, b}; !slices.Equal(got, want) {
+		t.Errorf("no skip: candidates = %v, want %v", got, want)
+	}
+
+	// Skipping "beta" leaves each record reachable only through its
+	// remaining token; skipping both of a record's tokens drops it.
+	got, err = s.AppendCandidatesSkip(nil, []string{"alpha beta gamma"}, &ps, []string{"beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{a, b}; !slices.Equal(got, want) {
+		t.Errorf("skip beta: candidates = %v, want %v", got, want)
+	}
+	got, err = s.AppendCandidatesSkip(nil, []string{"alpha beta gamma"}, &ps, []string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{b}; !slices.Equal(got, want) {
+		t.Errorf("skip alpha+beta: candidates = %v, want %v", got, want)
+	}
+
+	// A skipped token must also fail MinSharedTokens counting, exactly
+	// like a pruned stop token.
+	s2 := mustStore(t, 1, Config{MinSharedTokens: 2})
+	s2.Add([]string{"alpha beta"})
+	got, err = s2.AppendCandidatesSkip(nil, []string{"alpha beta"}, &ps, []string{"beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("skip under MinSharedTokens=2: candidates = %v, want none", got)
+	}
+}
+
+func TestCmpStringBytes(t *testing.T) {
+	cases := []struct {
+		s    string
+		b    string
+		want int
+	}{
+		{"", "", 0}, {"a", "a", 0}, {"a", "b", -1}, {"b", "a", 1},
+		{"ab", "a", 1}, {"a", "ab", -1}, {"abc", "abd", -1},
+	}
+	for _, c := range cases {
+		if got := cmpStringBytes(c.s, []byte(c.b)); got != c.want {
+			t.Errorf("cmpStringBytes(%q, %q) = %d, want %d", c.s, c.b, got, c.want)
+		}
+	}
+	skip := []string{"alpha", "beta", "gamma"}
+	for _, tok := range skip {
+		if !skipHas(skip, []byte(tok)) {
+			t.Errorf("skipHas missed %q", tok)
+		}
+	}
+	for _, tok := range []string{"", "aaa", "bet", "betaa", "zeta"} {
+		if skipHas(skip, []byte(tok)) {
+			t.Errorf("skipHas false positive on %q", tok)
+		}
+	}
+}
+
+func TestShardStats(t *testing.T) {
+	s := mustStore(t, 1, Config{Shards: 4, CompactMinDead: 1, CompactFrac: 0.1})
+	var ids []uint64
+	for i := 0; i < 32; i++ {
+		id, err := s.Add([]string{"shared stream"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	sum := func(stats []ShardStat) (recs, posts, tombs int, comps int64) {
+		for _, st := range stats {
+			recs += st.Records
+			posts += st.Postings
+			tombs += st.Tombstones
+			comps += st.Compactions
+		}
+		return
+	}
+	stats := s.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats returned %d shards, want 4", len(stats))
+	}
+	recs, posts, _, _ := sum(stats)
+	if recs != s.Len() {
+		t.Errorf("per-shard records sum = %d, Len = %d", recs, s.Len())
+	}
+	if posts != s.Stats().Tokens {
+		t.Errorf("per-shard postings sum = %d, Stats.Tokens = %d", posts, s.Stats().Tokens)
+	}
+	for _, id := range ids[:8] {
+		s.Delete(id)
+	}
+	recs, _, tombs, comps := sum(s.ShardStats())
+	if recs != 24 {
+		t.Errorf("records after deletes = %d, want 24", recs)
+	}
+	if int64(tombs) != s.Stats().Tombstones {
+		t.Errorf("per-shard tombstones sum = %d, Stats.Tombstones = %d", tombs, s.Stats().Tombstones)
+	}
+	if comps != s.Stats().Compactions {
+		t.Errorf("per-shard compactions sum = %d, Stats.Compactions = %d", comps, s.Stats().Compactions)
+	}
+}
+
 // TestTopKMatchesSort cross-checks the heap against a full sort on random
 // streams, including heavy rank ties.
 func TestTopKMatchesSort(t *testing.T) {

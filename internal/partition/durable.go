@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"repro/internal/match"
+	"repro/internal/par"
+)
+
+// partDirName names a partition's data subdirectory inside the store's
+// data dir.
+func partDirName(i int) string { return fmt.Sprintf("part-%03d", i) }
+
+var partDirRE = regexp.MustCompile(`^part-(\d{3})$`)
+
+// countPartDirs inventories an existing data dir's partition
+// subdirectories. Zero means a fresh dir.
+func countPartDirs(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() && partDirRE.MatchString(e.Name()) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// OpenDurable opens (creating if needed) a durable partitioned store
+// rooted at dir: each partition persists into its own part-NNN
+// subdirectory (WAL segments + snapshots, the match.OpenDurable layout),
+// all partitions replay concurrently, the global ID allocator resumes past
+// the max replayed ID, and the token census is rebuilt from the surviving
+// records — so a restarted store prunes exactly like the one that shut
+// down.
+//
+// The partition count is fixed at creation: records are routed by
+// consistent-hashing their IDs, so a dir created with N partitions opened
+// as M would look every record up in the wrong place. A count mismatch is
+// refused, not repartitioned.
+func OpenDurable(dir string, arity int, o Options) (*Store, error) {
+	o = o.withDefaults()
+	if o.Scorer == nil {
+		return nil, errors.New("partition: Options.Scorer is required")
+	}
+	existing, err := countPartDirs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("partition: inspecting data dir: %w", err)
+	}
+	if existing > 0 && existing != o.Partitions {
+		return nil, fmt.Errorf("partition: data dir %s holds %d partitions but %d were requested; the partition count is fixed at creation (repartition by rebuilding into a fresh dir)",
+			dir, existing, o.Partitions)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("partition: creating data dir: %w", err)
+	}
+
+	s, partCfg, err := newRouter(arity, o)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay all partitions concurrently: restart time is the slowest
+	// partition's replay, not the sum (restart amortization is half the
+	// point of partitioning the WAL).
+	durs := make([]*match.DurableStore, o.Partitions)
+	errs := make([]error, o.Partitions)
+	par.ForWorkers(o.Partitions, o.Partitions, func(i int) {
+		opts := o.Durable
+		if o.Progress != nil {
+			opts.Progress = func(phase string, done, total int) {
+				o.Progress(i, phase, done, total)
+			}
+		}
+		durs[i], errs[i] = match.OpenDurable(filepath.Join(dir, partDirName(i)), arity, partCfg, opts)
+	})
+	if err := errors.Join(errs...); err != nil {
+		for _, d := range durs {
+			if d != nil {
+				_ = d.Close() // best-effort: the open error is the one to report
+			}
+		}
+		return nil, err
+	}
+
+	var nextID uint64
+	for i, d := range durs {
+		s.parts[i] = newReplicaSet(NewLocalDurable(d, o.Scorer), o.Replicas)
+		if n := d.NextID(); n > nextID {
+			nextID = n
+		}
+		d.Range(func(_ uint64, values []string) bool {
+			s.censusAdd(values)
+			return true
+		})
+	}
+	s.nextID.Store(nextID)
+	return s, nil
+}

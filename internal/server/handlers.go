@@ -250,6 +250,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNoDurableStore):
 		return http.StatusConflict
+	case errors.Is(err, ErrBackpressure):
+		return http.StatusTooManyRequests
 	case errors.Is(err, match.ErrDurableClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, learnrisk.ErrPairArity), errors.Is(err, match.ErrArity):

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -55,12 +56,16 @@ type ResolveResponse struct {
 }
 
 // SnapshotResponse answers POST /v1/snapshot: the durable-store snapshot
-// that was just cut and published.
+// that was just cut and published. On a partitioned server the top-level
+// fields aggregate (records and bytes summed, millis and seq the maximum
+// across partitions — snapshots cut concurrently) and Partitions carries
+// the per-partition breakdown.
 type SnapshotResponse struct {
-	Seq     uint64 `json:"seq"`
-	Records int    `json:"records"`
-	Bytes   int64  `json:"bytes"`
-	Millis  int64  `json:"millis"`
+	Seq        uint64             `json:"seq"`
+	Records    int                `json:"records"`
+	Bytes      int64              `json:"bytes"`
+	Millis     int64              `json:"millis"`
+	Partitions []SnapshotResponse `json:"partitions,omitempty"`
 }
 
 // maxResolveK bounds how many matches one probe may request: the top-k heap
@@ -75,10 +80,20 @@ func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.AddRecord(req.Values)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeMutationError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RecordResponse{ID: id, Live: s.MatchStore().Len()})
+	writeJSON(w, http.StatusOK, RecordResponse{ID: id, Live: s.Live()})
+}
+
+// writeMutationError answers a failed record mutation; a back-pressure
+// refusal carries a Retry-After hint so well-behaved clients pace
+// themselves instead of hammering the full queue.
+func writeMutationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrBackpressure) {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, statusFor(err), err)
 }
 
 func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
@@ -89,14 +104,14 @@ func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	ok, err := s.DeleteRecord(id)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeMutationError(w, err)
 		return
 	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("record %d not found", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, DeleteResponse{ID: id, Deleted: true, Live: s.MatchStore().Len()})
+	writeJSON(w, http.StatusOK, DeleteResponse{ID: id, Deleted: true, Live: s.Live()})
 }
 
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
@@ -137,38 +152,60 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot is the admin trigger for a durable-store snapshot (cut
-// the surviving record set to disk now and truncate the covered log). 409
-// on an in-memory server, 503 while the durable store is still replaying.
+// the surviving record set to disk now and truncate the covered log —
+// every partition concurrently on a partitioned server). 409 on an
+// in-memory server, 503 while the durable store is still replaying.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	info, err := s.TriggerSnapshot()
+	infos, err := s.TriggerSnapshot()
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SnapshotResponse{
-		Seq:     info.Seq,
-		Records: info.Records,
-		Bytes:   info.Bytes,
-		Millis:  info.Duration.Milliseconds(),
-	})
+	var resp SnapshotResponse
+	for _, info := range infos {
+		part := SnapshotResponse{
+			Seq:     info.Seq,
+			Records: info.Records,
+			Bytes:   info.Bytes,
+			Millis:  info.Duration.Milliseconds(),
+		}
+		resp.Records += part.Records
+		resp.Bytes += part.Bytes
+		resp.Seq = max(resp.Seq, part.Seq)
+		resp.Millis = max(resp.Millis, part.Millis)
+		if len(infos) > 1 {
+			resp.Partitions = append(resp.Partitions, part)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleReadyz is the readiness probe: 200 once a model is served AND any
-// front-end warm-load has finished (SetReady), 503 with the blocking
-// reason before that. Load balancers gate traffic on this; liveness
-// (/healthz) stays green throughout so the process is not restarted for
-// merely being slow to warm.
+// front-end warm-load has finished (SetReady) AND, on a partitioned
+// server, every partition has finished replaying, 503 with the blocking
+// reason — and the per-partition reason list — before that. Load
+// balancers gate traffic on this; liveness (/healthz) stays green
+// throughout so the process is not restarted for merely being slow to
+// warm.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if ok, reason := s.Ready(); !ok {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		body := map[string]any{
 			"status": "starting",
 			"reason": reason,
-		})
+		}
+		if parts := s.PartitionReasons(); parts != nil {
+			body["partitions"] = parts
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":  "ready",
 		"model":   s.Model().Fingerprint(),
-		"records": s.MatchStore().Len(),
-	})
+		"records": s.Live(),
+	}
+	if ps := s.Partitioned(); ps != nil {
+		body["partitions"] = ps.Partitions()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -11,6 +11,7 @@ import (
 
 	learnrisk "repro"
 	"repro/internal/match"
+	"repro/internal/partition"
 )
 
 // Sentinel errors the HTTP layer classifies with errors.Is; the wrapped
@@ -36,6 +37,10 @@ var (
 	// the served schema, and silently starting an empty store would orphan
 	// them. Restart with a fresh -data-dir to change schemas.
 	ErrDurableSchemaSwap = errors.New("server: schema-changing swap refused with a durable record store")
+	// ErrBackpressure marks a record mutation refused because the bounded
+	// ingest queue is full (429: the client should back off and retry).
+	// Resolves are never refused — back-pressure sheds writes, not reads.
+	ErrBackpressure = errors.New("server: ingest queue is full")
 )
 
 // Config sizes the serving front end. The zero value takes the defaults.
@@ -59,6 +64,21 @@ type Config struct {
 	// /v1/resolve (blocking semantics and maintenance thresholds). The
 	// zero value takes the match package defaults.
 	Match match.Config
+	// Partitions, when > 0, partitions the record store: records
+	// consistent-hash across this many independent match partitions and
+	// every resolve scatter-gathers across all of them, merging the
+	// per-partition top-k heaps into one order-stable result identical to a
+	// single flat store's. 0 (the default) keeps the flat store.
+	Partitions int
+	// Replicas is the per-partition read fan-out in partitioned mode
+	// (default 1): resolves pick the less-loaded of two random replicas.
+	Replicas int
+	// MaxPending bounds how many record mutations (adds + deletes) may be
+	// in flight at once; one more is refused with ErrBackpressure (HTTP
+	// 429 + Retry-After) instead of queueing without bound. Defaults to
+	// 256 in partitioned mode; < 0 disables the gate. In flat mode 0 keeps
+	// the gate off (the single store's shard locks are the only queue).
+	MaxPending int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +87,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLinger == 0 {
 		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.Partitions > 0 {
+		if c.Replicas <= 0 {
+			c.Replicas = 1
+		}
+		if c.MaxPending == 0 {
+			c.MaxPending = 256
+		}
+	}
+	if c.MaxPending < 0 {
+		c.MaxPending = 0
 	}
 	return c
 }
@@ -98,6 +129,27 @@ type Server struct {
 	durable        atomic.Pointer[match.DurableStore]
 	durablePending atomic.Bool
 
+	// parts, when non-nil, is the partitioned record store (Config.
+	// Partitions > 0): record mutations route by consistent-hashed global
+	// ID, resolves scatter-gather across every partition. It scores
+	// through modelScorer, so it follows model hot-swaps without being
+	// rebuilt. In durable partitioned mode cmd/serve replays in the
+	// background and installs the replayed store over the in-memory one,
+	// with durablePending gating mutations exactly like flat mode.
+	parts atomic.Pointer[partition.Store]
+
+	// partReasons is the per-partition readiness board (index-aligned with
+	// the partitions): nil means ready, otherwise the replay phase that
+	// partition is in. /readyz aggregates it — one replaying partition
+	// keeps the whole server not ready, and the reason list names it.
+	partReasons []atomic.Pointer[string]
+
+	// ingestSem is the bounded ingest queue (Config.MaxPending): a record
+	// mutation holds one slot for its duration, and when none is free the
+	// mutation is refused with ErrBackpressure instead of piling onto the
+	// partition locks. nil disables the gate.
+	ingestSem chan struct{}
+
 	// notReady carries the readiness gate's reason; nil means ready. The
 	// liveness probe (/healthz) ignores it, the readiness probe (/readyz)
 	// returns 503 with the reason until it clears — cmd/serve holds it
@@ -127,8 +179,61 @@ func New(m *learnrisk.Model, cfg Config) *Server {
 		panic("server: invalid match config: " + err.Error())
 	}
 	s.store.Store(st)
+	if s.cfg.Partitions > 0 {
+		ps, err := partition.New(st.Arity(), partition.Options{
+			Partitions: s.cfg.Partitions,
+			Replicas:   s.cfg.Replicas,
+			Match:      s.cfg.Match,
+			Scorer:     modelScorer{model: &s.model},
+		})
+		if err != nil {
+			panic("server: invalid partition config: " + err.Error())
+		}
+		s.parts.Store(ps)
+		s.partReasons = make([]atomic.Pointer[string], s.cfg.Partitions)
+	}
+	if s.cfg.MaxPending > 0 {
+		s.ingestSem = make(chan struct{}, s.cfg.MaxPending)
+	}
 	s.batcher = NewBatcher(&s.model, s.cfg.MaxBatch, s.cfg.MaxLinger)
 	return s
+}
+
+// modelScorer adapts the server's hot-swappable model pointer to
+// partition.Scorer: every per-partition resolve leg snapshots the model at
+// call time, so a scatter-gather in flight during a swap scores all its
+// partitions on whichever snapshots its legs loaded — each leg internally
+// consistent, exactly like flat-mode requests racing a swap.
+type modelScorer struct {
+	model *atomic.Pointer[learnrisk.Model]
+}
+
+func (ms modelScorer) ResolveShard(st *match.Store, probe []string, k int, skip []string) ([]match.Scored, error) {
+	return ms.model.Load().ResolveShard(st, probe, k, skip)
+}
+
+// acquireIngest claims one bounded-queue slot for a record mutation, or
+// refuses with ErrBackpressure when Config.MaxPending are already in
+// flight. The queue is admission control, not a waiting line: refusing
+// immediately keeps the refused request's latency flat and tells the
+// client to back off, where blocking would stack every client behind the
+// partition locks.
+func (s *Server) acquireIngest() error {
+	if s.ingestSem == nil {
+		return nil
+	}
+	select {
+	case s.ingestSem <- struct{}{}:
+		return nil
+	default:
+		return fmt.Errorf("%w: %d record mutations already in flight", ErrBackpressure, cap(s.ingestSem))
+	}
+}
+
+func (s *Server) releaseIngest() {
+	if s.ingestSem != nil {
+		<-s.ingestSem
+	}
 }
 
 // Close drains and stops the micro-batcher. In-flight requests are
@@ -225,9 +330,26 @@ func (s *Server) Swap(next *learnrisk.Model, force bool) error {
 			// conflict — at the next restart.
 			return fmt.Errorf("%w: the data dir's records are shaped for fingerprint %.12s", ErrDurableSchemaSwap, cur.Fingerprint())
 		}
+		if ps := s.parts.Load(); ps != nil && ps.Durable() {
+			// Same refusal, partitioned: every part-NNN dir is shaped for
+			// the served schema.
+			return fmt.Errorf("%w: the partitioned data dir's records are shaped for fingerprint %.12s", ErrDurableSchemaSwap, cur.Fingerprint())
+		}
 		st, err := next.NewMatchStore(s.cfg.Match)
 		if err != nil {
 			return fmt.Errorf("server: rebuilding the match store for the new schema: %w", err)
+		}
+		if s.parts.Load() != nil {
+			nps, err := partition.New(st.Arity(), partition.Options{
+				Partitions: s.cfg.Partitions,
+				Replicas:   s.cfg.Replicas,
+				Match:      s.cfg.Match,
+				Scorer:     modelScorer{model: &s.model},
+			})
+			if err != nil {
+				return fmt.Errorf("server: rebuilding the partitioned store for the new schema: %w", err)
+			}
+			s.parts.Store(nps)
 		}
 		// Store first, model second: a Resolve racing the swap then pairs
 		// the old model with the fresh empty store (an arity error or an
@@ -277,10 +399,45 @@ func (s *Server) InstallDurableStore(d *match.DurableStore) error {
 // Durable returns the durability layer, or nil on an in-memory server.
 func (s *Server) Durable() *match.DurableStore { return s.durable.Load() }
 
+// Partitioned returns the partitioned record store, or nil on a flat
+// server.
+func (s *Server) Partitioned() *partition.Store { return s.parts.Load() }
+
+// InstallPartitionedStore publishes a replayed durable partitioned store
+// over the in-memory one New built: resolves serve its records
+// immediately, and every later mutation goes through the owning
+// partition's log. The store must match the served schema's arity and the
+// configured partition count.
+func (s *Server) InstallPartitionedStore(ps *partition.Store) error {
+	if ps == nil {
+		return fmt.Errorf("server: refusing to install a nil partitioned store")
+	}
+	if want := s.store.Load().Arity(); ps.Arity() != want {
+		return fmt.Errorf("server: partitioned store arity %d does not match the served schema's %d", ps.Arity(), want)
+	}
+	if ps.Partitions() != s.cfg.Partitions {
+		return fmt.Errorf("server: partitioned store has %d partitions, the server was configured with %d", ps.Partitions(), s.cfg.Partitions)
+	}
+	s.parts.Store(ps)
+	s.durablePending.Store(false)
+	return nil
+}
+
 // AddRecord stores and indexes one record in the online store, returning
 // its stable ID. With a durable store the record is logged (and, under
-// fsync=always, on disk) before the call returns.
+// fsync=always, on disk) before the call returns. A full ingest queue
+// refuses with ErrBackpressure.
 func (s *Server) AddRecord(values []string) (uint64, error) {
+	if err := s.acquireIngest(); err != nil {
+		return 0, err
+	}
+	defer s.releaseIngest()
+	if ps := s.parts.Load(); ps != nil {
+		if s.durablePending.Load() {
+			return 0, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
+		}
+		return ps.Add(values)
+	}
 	if d := s.durable.Load(); d != nil {
 		return d.Add(values)
 	}
@@ -291,8 +448,19 @@ func (s *Server) AddRecord(values []string) (uint64, error) {
 }
 
 // DeleteRecord tombstones one record; false means the ID was unknown or
-// already deleted. Durable deletes are logged before they apply.
+// already deleted. Durable deletes are logged before they apply. A full
+// ingest queue refuses with ErrBackpressure.
 func (s *Server) DeleteRecord(id uint64) (bool, error) {
+	if err := s.acquireIngest(); err != nil {
+		return false, err
+	}
+	defer s.releaseIngest()
+	if ps := s.parts.Load(); ps != nil {
+		if s.durablePending.Load() {
+			return false, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
+		}
+		return ps.Delete(id)
+	}
 	if d := s.durable.Load(); d != nil {
 		return d.Delete(id)
 	}
@@ -304,25 +472,68 @@ func (s *Server) DeleteRecord(id uint64) (bool, error) {
 
 // TriggerSnapshot cuts a durable-store snapshot now (the POST /v1/snapshot
 // admin endpoint): the live record set is written and fsynced, and the log
-// history it covers is truncated.
-func (s *Server) TriggerSnapshot() (match.SnapshotInfo, error) {
+// history it covers is truncated. A partitioned server snapshots every
+// partition concurrently and returns one info per partition; a flat server
+// returns a single-element slice.
+func (s *Server) TriggerSnapshot() ([]match.SnapshotInfo, error) {
+	if ps := s.parts.Load(); ps != nil {
+		if s.durablePending.Load() {
+			return nil, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
+		}
+		if !ps.Durable() {
+			return nil, ErrNoDurableStore
+		}
+		return ps.Snapshot()
+	}
 	if d := s.durable.Load(); d != nil {
-		return d.Snapshot()
+		info, err := d.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return []match.SnapshotInfo{info}, nil
 	}
 	if s.durablePending.Load() {
-		return match.SnapshotInfo{}, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
+		return nil, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
 	}
-	return match.SnapshotInfo{}, ErrNoDurableStore
+	return nil, ErrNoDurableStore
+}
+
+// RecordSource is the read view a resolve ran against: enough to render
+// the matched records' values and the live count. Both the flat
+// match.Store and the partitioned store implement it.
+type RecordSource interface {
+	Get(id uint64) ([]string, bool)
+	Len() int
+}
+
+// Live reports the number of live records in whichever store is serving
+// (the partitioned store when configured, the flat store otherwise).
+func (s *Server) Live() int {
+	if ps := s.parts.Load(); ps != nil {
+		return ps.Len()
+	}
+	return s.store.Load().Len()
 }
 
 // Resolve finds the k best matches for a probe record among the store's
-// live records on the current model snapshot. It returns the store
-// snapshot the resolve ran against next to the results: record IDs are
-// only meaningful relative to that snapshot (a forced schema swap replaces
-// the store and restarts IDs at zero), so callers rendering record values
-// must fetch them from it, not from a fresh MatchStore() load.
-func (s *Server) Resolve(probe []string, k int) ([]learnrisk.MatchResult, *match.Store, string, error) {
+// live records on the current model snapshot — scatter-gathered across
+// every partition on a partitioned server, with the per-partition top-k
+// heaps merged into the same ranked slice a flat store would return. It
+// returns the store snapshot the resolve ran against next to the results:
+// record IDs are only meaningful relative to that snapshot (a forced
+// schema swap replaces the store and restarts IDs at zero), so callers
+// rendering record values must fetch them from it, not from a fresh
+// MatchStore() load.
+func (s *Server) Resolve(probe []string, k int) ([]learnrisk.MatchResult, RecordSource, string, error) {
 	m := s.model.Load()
+	if ps := s.parts.Load(); ps != nil {
+		res, err := m.ResolvePartitioned(ps, probe, k)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		s.resolves.Add(1)
+		return res, ps, m.Fingerprint(), nil
+	}
 	st := s.store.Load()
 	res, err := m.Resolve(st, probe, k)
 	if err != nil {
@@ -342,12 +553,50 @@ func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
 // SetReady clears the readiness gate.
 func (s *Server) SetReady() { s.notReady.Store(nil) }
 
-// Ready reports the readiness gate and, when not ready, its reason.
+// Ready reports the readiness gate and, when not ready, its reason. On a
+// partitioned server a single replaying partition keeps the whole server
+// not ready (its probes would silently miss that partition's records).
 func (s *Server) Ready() (bool, string) {
 	if r := s.notReady.Load(); r != nil {
 		return false, *r
 	}
+	for i := range s.partReasons {
+		if r := s.partReasons[i].Load(); r != nil {
+			return false, fmt.Sprintf("partition %d: %s", i, *r)
+		}
+	}
 	return true, ""
+}
+
+// SetPartitionNotReady marks one partition's slot on the readiness board
+// with the phase it is in (cmd/serve calls it from the per-partition
+// replay progress callback). Out-of-range parts are ignored.
+func (s *Server) SetPartitionNotReady(part int, reason string) {
+	if part >= 0 && part < len(s.partReasons) {
+		s.partReasons[part].Store(&reason)
+	}
+}
+
+// SetPartitionReady clears one partition's readiness slot.
+func (s *Server) SetPartitionReady(part int) {
+	if part >= 0 && part < len(s.partReasons) {
+		s.partReasons[part].Store(nil)
+	}
+}
+
+// PartitionReasons snapshots the per-partition readiness board,
+// index-aligned with the partitions; "" means ready. Nil on a flat server.
+func (s *Server) PartitionReasons() []string {
+	if s.partReasons == nil {
+		return nil
+	}
+	out := make([]string, len(s.partReasons))
+	for i := range s.partReasons {
+		if r := s.partReasons[i].Load(); r != nil {
+			out[i] = *r
+		}
+	}
+	return out
 }
 
 // Reload loads the artifact at path (or the configured ModelPath when path

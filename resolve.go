@@ -142,12 +142,26 @@ const resolveBatchChunk = 4
 
 // resolveInto runs one (already-validated) probe inside a scratch.
 func (m *Model) resolveInto(st *MatchStore, probe []string, k int, s *resolveScratch) []MatchResult {
+	m.rankInto(st, probe, k, nil, s)
+	out := make([]MatchResult, len(s.sorted))
+	for i, e := range s.sorted {
+		out[i] = MatchResult{ID: s.kept[e.ID], Score: s.scores[e.ID]}
+	}
+	return out
+}
+
+// rankInto is the shared resolve core: candidates from the incremental
+// index (minus the skip list's globally pruned tokens), every candidate
+// scored on the zero-alloc path, the k best retained. It leaves the
+// verdicts in the scratch — s.sorted holds scratch positions best-first,
+// s.kept/s.scores map a position back to the record ID and its full score.
+func (m *Model) rankInto(st *MatchStore, probe []string, k int, skip []string, s *resolveScratch) {
 	var err error
-	s.ids, err = st.AppendCandidates(s.ids[:0], probe, &s.ps)
+	s.ids, err = st.AppendCandidatesSkip(s.ids[:0], probe, &s.ps, skip)
 	if err != nil {
-		// Unreachable: AppendCandidates' only failure is its arity check,
-		// and checkResolve pinned the probe's arity to the store's before
-		// any resolve work started. The store's arity is immutable.
+		// Unreachable: AppendCandidatesSkip's only failure is its arity
+		// check, and checkResolve pinned the probe's arity to the store's
+		// before any resolve work started. The store's arity is immutable.
 		panic("learnrisk: resolve invariant violated: " + err.Error())
 	}
 	s.topk.Reset(k)
@@ -167,9 +181,4 @@ func (m *Model) resolveInto(st *MatchStore, probe []string, k int, s *resolveScr
 		s.topk.Offer(match.Scored{ID: pos, Rank: sc.Prob})
 	}
 	s.sorted = s.topk.AppendSorted(s.sorted[:0])
-	out := make([]MatchResult, len(s.sorted))
-	for i, e := range s.sorted {
-		out[i] = MatchResult{ID: s.kept[e.ID], Score: s.scores[e.ID]}
-	}
-	return out
 }
