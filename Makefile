@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-examples build-cmds vet lint fmtcheck test race cover allocs tier1 crash bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5 bench-pr6 bench-pr8 bench-pr9
+.PHONY: build build-examples build-cmds vet lint fmtcheck test race cover allocs tier1 crash bench bench-baseline bench-serve bench-pr4 bench-pr4-baseline bench-pr5 bench-pr6 bench-pr8 bench-pr9 bench-pr10
 
 build:
 	$(GO) build ./...
@@ -61,14 +61,14 @@ test:
 # (micro-batcher coalescing + model hot-swap under load).
 race:
 	$(GO) test -race ./internal/par/... ./internal/featstore/... ./internal/rules/... ./internal/core/... ./internal/blocking/...
-	$(GO) test -race ./internal/server/... ./internal/match/... ./internal/wal/... ./internal/partition/...
+	$(GO) test -race ./internal/server/... ./internal/match/... ./internal/wal/... ./internal/partition/... ./internal/obs/...
 	$(GO) test -race -run 'TestScoreConcurrent|TestScoreBatchConcurrent|TestResolveConcurrent' .
 
 # cover enforces statement-coverage floors on the serving-grade packages:
 # the HTTP/batching layer, the feature store, and the facade (golden
 # regression + Save/Load property tests live there). Raise the floors as
 # coverage grows; never lower them.
-COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 ./internal/match:80 ./internal/wal:85 ./internal/analysis:80 ./internal/partition:80 .:85
+COVER_FLOORS = ./internal/server:80 ./internal/featstore:85 ./internal/match:80 ./internal/wal:85 ./internal/analysis:80 ./internal/partition:80 ./internal/obs:85 .:85
 
 cover:
 	@set -e; for pf in $(COVER_FLOORS); do \
@@ -91,7 +91,7 @@ cover:
 # They also run as part of `make test`; this target is the fast loop while
 # working on the hot path.
 allocs:
-	$(GO) test -run 'Alloc' . ./internal/rules/ ./internal/featstore/ ./internal/metrics/ ./internal/nn/
+	$(GO) test -run 'Alloc' . ./internal/rules/ ./internal/featstore/ ./internal/metrics/ ./internal/nn/ ./internal/obs/
 
 # tier1 is the verification gate every PR must keep green (ROADMAP.md).
 tier1: build build-examples build-cmds vet lint fmtcheck test race cover allocs
@@ -168,3 +168,13 @@ bench-pr9:
 	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -partitions 0 -label flat
 	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -partitions 1 -label parts-1
 	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS) -partitions 4 -replicas 2 -label parts-4
+
+# bench-pr10 measures the observability layer itself: the warm resolve
+# path with stage tracing off vs on (the acceptance bar is the delta
+# staying within run-to-run noise) plus a loadgen pass whose per-step
+# metrics now carry the server-side stage histograms scraped from GET
+# /metrics (where inside the server the client-visible p99 was spent).
+LOADGEN10_FLAGS = -steps 1,4,16 -step-duration 2s -preload 400 -out BENCH_PR10.json
+bench-pr10:
+	$(GO) run ./cmd/bench -bench 'Obs' -benchtime 200x -out BENCH_PR10.json -label current
+	$(GO) run ./cmd/loadgen $(LOADGEN10_FLAGS) -partitions 4 -replicas 2 -label parts-4

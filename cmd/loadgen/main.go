@@ -23,11 +23,13 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -42,6 +44,7 @@ import (
 	"time"
 
 	learnrisk "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -87,6 +90,7 @@ func main() {
 			Partitions: *partitions,
 			Replicas:   *replicas,
 			MaxPending: *maxPending,
+			Obs:        obs.NewRegistry(),
 		})
 		defer srv.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -171,6 +175,10 @@ type stepResult struct {
 	P95         time.Duration
 	P99         time.Duration
 	MeanResolve time.Duration
+	// Server holds the server-side stage latencies scraped from GET
+	// /metrics after the step — where inside the server the client-visible
+	// latency above was spent. Empty when the target has no /metrics.
+	Server map[string]float64
 }
 
 func (r stepResult) OpsPerSec() float64 {
@@ -310,6 +318,7 @@ func runLoad(cfg loadConfig) ([]stepResult, error) {
 		res.P50, res.P95, res.P99 = percentile(all, 50), percentile(all, 95), percentile(all, 99)
 		res.MeanResolve = meanDuration(all)
 		res.Ops = res.Resolves + res.Adds + res.Deletes + res.Throttled
+		res.Server = scrapeServerStages(client, cfg.Base)
 		results = append(results, res)
 	}
 	return results, nil
@@ -387,6 +396,73 @@ func doJSON(client *http.Client, method, url string, body, out any) (int, error)
 	return resp.StatusCode, nil
 }
 
+// srvStages selects the server-side stage samples worth carrying into the
+// bench JSON, mapping Prometheus sample keys (name plus rendered labels)
+// to the metric names the section's Metrics map uses.
+var srvStages = map[string]string{
+	`stage_batch_wait_ns{quantile="0.99"}`:      "srv_batch_wait_p99_ns",
+	`stage_scatter_ns{quantile="0.99"}`:         "srv_scatter_p99_ns",
+	`stage_scatter_slowest_ns{quantile="0.99"}`: "srv_scatter_slowest_p99_ns",
+	`stage_topk_merge_ns{quantile="0.99"}`:      "srv_topk_merge_p99_ns",
+	`stage_probe_tokenize_ns{quantile="0.99"}`:  "srv_probe_tokenize_p99_ns",
+	`request_resolve_ns{quantile="0.99"}`:       "srv_request_resolve_p99_ns",
+	`request_resolve_ns{quantile="0.5"}`:        "srv_request_resolve_p50_ns",
+}
+
+// scrapeServerStages pulls GET /metrics after a step and picks the
+// srvStages samples out of it. The histograms are cumulative over the
+// whole run (quantiles cannot be windowed server-side), so each step's
+// scrape reflects the load applied up to and including that step. A
+// target without /metrics (an older server) just yields nil — the
+// client-side percentiles stand alone.
+func scrapeServerStages(client *http.Client, base string) map[string]float64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	samples, err := parsePromText(resp.Body)
+	if err != nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for key, name := range srvStages {
+		if v, ok := samples[key]; ok {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// parsePromText reads Prometheus text exposition into a flat sample map
+// keyed by the sample's name plus its label block verbatim — exactly the
+// subset of the format the repo's own registry emits (no escaping inside
+// label values, one sample per line).
+func parsePromText(r io.Reader) (map[string]float64, error) {
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		samples[line[:sp]] = v
+	}
+	return samples, sc.Err()
+}
+
 func mergeLatencies(lats [][]time.Duration) []time.Duration {
 	var all []time.Duration
 	for _, l := range lats {
@@ -460,6 +536,11 @@ func sectionFor(flags string, results []stepResult) benchSection {
 				"throttled_429": float64(r.Throttled),
 				"failed":        float64(r.Failed),
 			},
+		}
+	}
+	for _, r := range results {
+		for k, v := range r.Server {
+			sec.Results[fmt.Sprintf("loadgen/resolve/c=%d", r.Concurrency)].Metrics[k] = v
 		}
 	}
 	return sec

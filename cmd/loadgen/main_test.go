@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -130,6 +132,56 @@ func TestRunLoadClosedLoop(t *testing.T) {
 	}
 	if resolves.Load() == 0 {
 		t.Error("stub saw no resolves")
+	}
+}
+
+// TestScrapeServerStages pins the /metrics round trip: Prometheus text
+// parses into flat samples, the srvStages selection lands in the step's
+// Server map, and targets without /metrics degrade to nil.
+func TestScrapeServerStages(t *testing.T) {
+	const body = `# TYPE stage_scatter_ns summary
+stage_scatter_ns{quantile="0.5"} 100
+stage_scatter_ns{quantile="0.99"} 4200
+stage_scatter_ns_sum 9000
+request_resolve_ns{quantile="0.99"} 8_bad_value
+stage_batch_wait_ns{quantile="0.99"} 77
+
+stage_topk_merge_ns{quantile="0.99"} 3.5e2
+`
+	samples, err := parsePromText(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples[`stage_scatter_ns{quantile="0.99"}`]; got != 4200 {
+		t.Errorf("scatter p99 = %v, want 4200", got)
+	}
+	if got := samples[`stage_topk_merge_ns{quantile="0.99"}`]; got != 350 {
+		t.Errorf("scientific notation parsed as %v, want 350", got)
+	}
+	if _, ok := samples[`request_resolve_ns{quantile="0.99"}`]; ok {
+		t.Error("unparseable value was kept")
+	}
+
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, body)
+	}))
+	defer ts.Close()
+	got := scrapeServerStages(ts.Client(), ts.URL)
+	if got["srv_scatter_p99_ns"] != 4200 || got["srv_batch_wait_p99_ns"] != 77 {
+		t.Errorf("scrape selection = %v", got)
+	}
+	if _, ok := got["srv_scatter_slowest_p99_ns"]; ok {
+		t.Error("absent sample materialized in selection")
+	}
+
+	bare := httptest.NewServer(http.NotFoundHandler())
+	defer bare.Close()
+	if got := scrapeServerStages(bare.Client(), bare.URL); got != nil {
+		t.Errorf("target without /metrics: got %v, want nil", got)
 	}
 }
 

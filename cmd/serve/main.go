@@ -22,6 +22,7 @@
 //	POST   /v1/snapshot      cut a durable-store snapshot now (-data-dir only)
 //	GET    /v1/model
 //	POST   /v1/model/reload  {"path": "new.json", "force": false}
+//	GET    /metrics          Prometheus text exposition (all serving metrics)
 //	GET    /healthz          liveness
 //	GET    /readyz           readiness (503 until the model is loaded and
 //	                         the -records warm-load has finished)
@@ -66,26 +67,38 @@
 // compactions, resolves and mean candidates per probe, and — with
 // -data-dir — wal_stats/snapshot_stats durability counters). Keep
 // it bound to localhost — it is intentionally separate from the
-// client-facing listener.
+// client-facing listener. -mutex-profile-fraction and
+// -block-profile-rate turn on the runtime's contention profiles
+// (mutex/block under /debug/pprof), which are silently empty without them.
+//
+// All of those counters — plus per-stage latency histograms (batcher
+// wait, scatter per partition, WAL append/fsync, snapshot cut/publish),
+// request-level p50/p95/p99 and a runtime sampler — also render as
+// Prometheus text exposition on the serving listener's GET /metrics.
+// -slow-request 50ms logs a structured line (request id + per-stage
+// breakdown) for every request slower than that; -log-format json makes
+// the log machine-parseable.
 package main
 
 import (
 	"context"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (the -pprof listener)
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	learnrisk "repro"
 	"repro/internal/dataset"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -109,12 +122,22 @@ func main() {
 		replicas    = flag.Int("replicas", 1, "read replicas per partition (power-of-two-choices fan-out; needs -partitions)")
 		maxPending  = flag.Int("max-pending", 0, "bounded ingest queue: record mutations beyond this many in flight answer 429 (0 = default 256 with -partitions, off without; negative disables)")
 		pprofAddr   = flag.String("pprof", "", "optional debug listener address (e.g. localhost:6060) exposing /debug/pprof and /debug/vars; empty disables it")
+		mutexFrac   = flag.Int("mutex-profile-fraction", 5, "with -pprof, sample 1/N of mutex-contention events into /debug/pprof/mutex (0 disables)")
+		blockRate   = flag.Int("block-profile-rate", 0, "with -pprof, sample blocking events of at least this many ns into /debug/pprof/block (0 disables; sampling has measurable overhead)")
+		slowReq     = flag.Duration("slow-request", 0, "log a structured per-stage breakdown for every request slower than this (0 disables)")
+		logFormat   = flag.String("log-format", "text", "structured log output: text or json (json makes slow-request lines machine-parseable)")
 		readTimeout = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO      = flag.Duration("idle-timeout", 60*time.Second, "HTTP idle timeout")
 		shutdownTO  = flag.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	model, err := obtainModel(*modelPath, *profile, *scale, *seed)
 	if err != nil {
@@ -123,6 +146,8 @@ func main() {
 	log.Printf("serving model %.12s (%d risk features, envelope v%d)",
 		model.Fingerprint(), model.NumFeatures(), model.EnvelopeVersion())
 
+	reg := obs.NewRegistry()
+	obs.RegisterRuntime(reg)
 	srv := server.New(model, server.Config{
 		MaxBatch:  *maxBatch,
 		MaxLinger: *maxLinger,
@@ -131,11 +156,18 @@ func main() {
 			MinSharedTokens: *minShared,
 			MaxBlockSize:    *maxBlock,
 		},
-		Partitions: *partitions,
-		Replicas:   *replicas,
-		MaxPending: *maxPending,
+		Partitions:  *partitions,
+		Replicas:    *replicas,
+		MaxPending:  *maxPending,
+		Obs:         reg,
+		SlowRequest: *slowReq,
+		Logger:      logger,
 	})
 	defer srv.Close()
+	// Mirror every registry metric onto expvar so the -pprof listener's
+	// /debug/vars keeps its pre-registry surface: same names, same tree
+	// shapes, now sourced from the same registry /metrics scrapes.
+	reg.MirrorExpvar()
 
 	// The signal context exists before the warm-up goroutines start so a
 	// SIGINT during a large -records load stops the row loop promptly
@@ -165,6 +197,7 @@ func main() {
 			SyncInterval:  interval,
 			SnapshotEvery: *snapEvery,
 			Logf:          log.Printf,
+			OnStage:       srv.ObserveStage,
 		})
 	case *dataDir != "":
 		policy, interval, err := wal.ParseSyncPolicy(*fsyncFlag)
@@ -178,6 +211,7 @@ func main() {
 			SyncInterval:  interval,
 			SnapshotEvery: *snapEvery,
 			Logf:          log.Printf,
+			OnStage:       srv.ObserveStage,
 		})
 	case *recordsPath != "":
 		srv.SetNotReady(fmt.Sprintf("warm-loading match records from %s", *recordsPath))
@@ -193,8 +227,12 @@ func main() {
 		}()
 	}
 
-	publishDebugVars(srv)
 	if *pprofAddr != "" {
+		// Without these the mutex and block profiles exist but stay
+		// silently empty: the runtime samples no contention events until a
+		// fraction (mutex) or rate (block) is set.
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		runtime.SetBlockProfileRate(*blockRate)
 		// The debug listener is separate from the serving listener on
 		// purpose: profiling and introspection endpoints never share a
 		// port (or timeouts) with client traffic. DefaultServeMux carries
@@ -348,125 +386,17 @@ func openPartitionedStore(ctx context.Context, srv *server.Server, model *learnr
 	srv.SetReady()
 }
 
-// publishDebugVars exports the micro-batcher's coalescing counters and the
-// serving totals as expvars (GET /debug/vars on the -pprof listener):
-// flush count, pairs ridden through flushes, mean/max flush size, current
-// queue depth, pairs served and model hot-swaps.
-func publishDebugVars(srv *server.Server) {
-	expvar.Publish("batcher_flushes", expvar.Func(func() any {
-		flushes, _ := srv.BatchStats()
-		return flushes
-	}))
-	expvar.Publish("batcher_batched_pairs", expvar.Func(func() any {
-		_, pairs := srv.BatchStats()
-		return pairs
-	}))
-	expvar.Publish("batcher_mean_flush", expvar.Func(func() any {
-		flushes, pairs := srv.BatchStats()
-		if flushes == 0 {
-			return 0.0
-		}
-		return float64(pairs) / float64(flushes)
-	}))
-	expvar.Publish("batcher_max_flush", expvar.Func(func() any { return srv.MaxFlush() }))
-	expvar.Publish("batcher_queue_depth", expvar.Func(func() any { return srv.QueueDepth() }))
-	expvar.Publish("served_pairs", expvar.Func(func() any { return srv.Served() }))
-	expvar.Publish("model_swaps", expvar.Func(func() any { return srv.Swaps() }))
-
-	// Match-store counters as one expvar: a single Stats() sweep per
-	// scrape (Stats briefly takes every shard lock, so one consistent
-	// snapshot beats five contending ones), re-read from the current store
-	// so the counters follow a forced schema-changing swap.
-	expvar.Publish("match_store", expvar.Func(func() any {
-		st := srv.MatchStore().Stats()
-		mean := 0.0
-		if st.Probes > 0 {
-			mean = float64(st.Candidates) / float64(st.Probes)
-		}
-		return map[string]any{
-			"records_live":              st.Live,
-			"records_indexed":           st.Added,
-			"records_deleted":           st.Deleted,
-			"tokens":                    st.Tokens,
-			"tombstones":                st.Tombstones,
-			"compactions":               st.Compactions,
-			"probes":                    st.Probes,
-			"resolves":                  srv.Resolves(),
-			"mean_candidates_per_probe": mean,
-		}
-	}))
-
-	// Per-shard index counters (skew at a glance): the flat store's shards,
-	// or every partition's shards on a partitioned server.
-	expvar.Publish("match_shard_stats", expvar.Func(func() any {
-		if ps := srv.Partitioned(); ps != nil {
-			return map[string]any{"partitioned": true, "partitions": ps.PartitionShardStats()}
-		}
-		return map[string]any{"partitioned": false, "shards": srv.MatchStore().ShardStats()}
-	}))
-
-	// Scatter-gather router counters. Published even on a flat server (as
-	// {"enabled": false}) so dashboards can tell "not partitioned" from
-	// "metric missing".
-	expvar.Publish("partition_stats", expvar.Func(func() any {
-		ps := srv.Partitioned()
-		if ps == nil {
-			return map[string]any{"enabled": false}
-		}
-		st := ps.Stats()
-		return map[string]any{
-			"enabled":       true,
-			"partitions":    st.Partitions,
-			"replicas":      st.Replicas,
-			"records":       st.Records,
-			"pending":       st.Pending,
-			"probes":        st.Probes,
-			"pruned_tokens": st.PrunedTokens,
-			"census_tokens": st.CensusTokens,
-			"durable":       ps.Durable(),
-			"next_id":       ps.NextID(),
-		}
-	}))
-
-	// Durability counters, one consistent DurableStats sweep per scrape.
-	// Published even on an in-memory server (as {"enabled": false}) so
-	// dashboards can tell "no durability" from "metric missing".
-	expvar.Publish("wal_stats", expvar.Func(func() any {
-		d := srv.Durable()
-		if d == nil {
-			return map[string]any{"enabled": false}
-		}
-		st := d.DurableStats()
-		return map[string]any{
-			"enabled":       true,
-			"dir":           st.Dir,
-			"segment_seq":   st.WALSeq,
-			"segment_bytes": st.WALSegmentBytes,
-			"appends":       st.WALAppends,
-			"bytes":         st.WALBytes,
-			"syncs":         st.WALSyncs,
-			"tail_ops":      st.TailOps,
-		}
-	}))
-	expvar.Publish("snapshot_stats", expvar.Func(func() any {
-		d := srv.Durable()
-		if d == nil {
-			return map[string]any{"enabled": false}
-		}
-		st := d.DurableStats()
-		return map[string]any{
-			"enabled":             true,
-			"snapshots":           st.Snapshots,
-			"last_seq":            st.SnapshotSeq,
-			"last_records":        st.SnapshotRecords,
-			"last_bytes":          st.SnapshotBytes,
-			"last_millis":         st.SnapshotMillis,
-			"replay_tail_frames":  st.Replay.TailFrames,
-			"replay_snapshot_rec": st.Replay.SnapshotRecords,
-			"replay_torn_tail":    st.Replay.TornTail,
-			"replay_millis":       st.Replay.Duration.Milliseconds(),
-		}
-	}))
+// buildLogger makes the process slog.Logger per -log-format: "text" is
+// the human default, "json" emits one JSON object per line — the shape
+// log shippers want for the -slow-request stage breakdowns.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("serve: -log-format %q is not \"text\" or \"json\"", format)
 }
 
 // recordAdder is the slice of the server the warm-load needs: accept one

@@ -1,4 +1,4 @@
-// vetkit is the repo's invariant checker: a multichecker over the five
+// vetkit is the repo's invariant checker: a multichecker over the six
 // project-specific analyzers in internal/analysis/..., run by `make lint`
 // (and therefore `make tier1`) over the whole tree. It exits non-zero on
 // any finding, so an invariant regression fails the gate exactly like a
@@ -18,6 +18,8 @@
 //	lockdiscipline  no mutex copies; Lock pairs with Unlock on all paths
 //	closecheck      Close/Sync errors on writable files are checked
 //	expvarlint      expvar names are snake_case, registered exactly once
+//	metriclint      obs.Registry names are snake_case, registered exactly
+//	                once, and never registered from a hotpath function
 //
 // See the README's "Static analysis" section for the annotation
 // vocabulary and how to extend the suite.
@@ -34,6 +36,7 @@ import (
 	"repro/internal/analysis/expvarlint"
 	"repro/internal/analysis/hotpath"
 	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/metriclint"
 	"repro/internal/analysis/walapply"
 )
 
@@ -44,6 +47,7 @@ var analyzers = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	closecheck.Analyzer,
 	expvarlint.Analyzer,
+	metriclint.Analyzer,
 }
 
 func main() {

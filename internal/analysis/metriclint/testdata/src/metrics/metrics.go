@@ -1,0 +1,41 @@
+// Package metrics seeds metriclint violations: dynamic names, names that
+// are not snake_case, a duplicate registration, and registration from
+// inside a //vetkit:hotpath function.
+package metrics
+
+import "obs"
+
+var reg = obs.NewRegistry()
+
+var hits = reg.Counter("request_hits")
+var depth = reg.Gauge("queue_depth")
+var lat = reg.Histogram("latency_ns")
+
+func init() {
+	reg.Func("stats_tree", func() any { return 1 })
+}
+
+var dynamic = "computed_name"
+
+var a = reg.Counter(dynamic)           // want "must be a string literal"
+var b = reg.Gauge("BadName")           // want "not snake_case"
+var c = reg.Histogram("2fast")         // want "not snake_case"
+var d = reg.Counter("request_hits")    // want "registered twice"
+var e = reg.Histogram("lat" + "_elab") // want "must be a string literal"
+
+// score is annotated hot: instruments must be handed in, not registered
+// here.
+//
+//vetkit:hotpath
+func score(v int64) {
+	h := reg.Histogram("score_inline_ns") // want "registration inside hotpath"
+	h.Observe(v)
+}
+
+// notRegistry proves recognition is structural: a same-named method on a
+// non-Registry type in a non-obs package is ignored.
+type fakeReg struct{}
+
+func (fakeReg) Counter(name string) int { return 0 }
+
+var ignored = fakeReg{}.Counter("Whatever Casing")

@@ -1,0 +1,12 @@
+// Package metrics2 registers a name package metrics already took:
+// uniqueness is program-wide, so the clash is caught across package
+// boundaries.
+package metrics2
+
+import "obs"
+
+var reg = obs.NewRegistry()
+
+var clash = reg.Gauge("queue_depth") // want "registered twice"
+
+var own = reg.Counter("metrics2_total")

@@ -1,0 +1,27 @@
+// Package obs is a structural stub of repro/internal/obs for the
+// metriclint fixtures: same package name, same Registry method set, none
+// of the implementation. The analyzer recognizes registrations by shape
+// (method on obs.Registry), so the stub exercises exactly the recognition
+// the real package gets.
+package obs
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Add(n int64) { c.v += n }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{ n int64 }
+
+func (h *Histogram) Observe(v int64) { h.n++ }
+
+type Registry struct{ names map[string]bool }
+
+func NewRegistry() *Registry { return &Registry{names: map[string]bool{}} }
+
+func (r *Registry) Counter(name string) *Counter     { r.names[name] = true; return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { r.names[name] = true; return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { r.names[name] = true; return &Histogram{} }
+func (r *Registry) Func(name string, f func() any)   { r.names[name] = true }

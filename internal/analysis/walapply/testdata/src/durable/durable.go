@@ -61,6 +61,27 @@ func (d *Durable) AddLoop(ids []uint64) error {
 	return nil
 }
 
+// AddTraced uses AppendTrace, the trace-carrying append entry point: the
+// append still dominates the apply, so the method is clean.
+//
+//vetkit:wal-before-apply
+func (d *Durable) AddTraced(id uint64) error {
+	if err := d.log.AppendTrace(1, nil, nil); err != nil {
+		return err
+	}
+	d.Store.Add(id)
+	return nil
+}
+
+// AddTracedBad applies before the traced append: recognized as a
+// violation exactly like a plain Append.
+//
+//vetkit:wal-before-apply
+func (d *Durable) AddTracedBad(id uint64) error {
+	d.Store.Add(id) // want "mutates .* before the WAL append"
+	return d.log.AppendTrace(1, nil, nil)
+}
+
 // AddBatch uses AppendBatch, the other recognized append entry point.
 //
 //vetkit:wal-before-apply

@@ -1,9 +1,10 @@
 // Package wal is a fixture stand-in for the repo's WAL writer: the
-// analyzer recognizes Append/AppendBatch on a Writer declared in a package
-// named "wal", which this is.
+// analyzer recognizes Append/AppendBatch/AppendTrace on a Writer declared
+// in a package named "wal", which this is.
 package wal
 
 type Writer struct{}
 
-func (w *Writer) Append(op byte, rec []byte) error            { return nil }
-func (w *Writer) AppendBatch(ops []byte, recs [][]byte) error { return nil }
+func (w *Writer) Append(op byte, rec []byte) error              { return nil }
+func (w *Writer) AppendBatch(ops []byte, recs [][]byte) error   { return nil }
+func (w *Writer) AppendTrace(op byte, rec []byte, tr any) error { return nil }

@@ -8,8 +8,9 @@
 // Recognition is structural, so the check works on the real tree and on
 // fixtures alike:
 //
-//   - a "WAL append" is a call to a method named Append or AppendBatch
-//     whose receiver is a Writer declared in a package named "wal";
+//   - a "WAL append" is a call to a method named Append, AppendBatch or
+//     AppendTrace whose receiver is a Writer declared in a package named
+//     "wal";
 //   - a "store mutation" is a call to one of Add, addAt, Delete,
 //     advanceNextID or Compact on a field named Store, store or mem
 //     (the embedded in-memory store of a durable wrapper). reserveID is
@@ -262,7 +263,7 @@ func (c *checker) expr(e ast.Expr, appended bool) bool {
 
 func (c *checker) isWALAppend(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Append" && sel.Sel.Name != "AppendBatch") {
+	if !ok || (sel.Sel.Name != "Append" && sel.Sel.Name != "AppendBatch" && sel.Sel.Name != "AppendTrace") {
 		return false
 	}
 	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)

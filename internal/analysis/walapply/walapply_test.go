@@ -9,7 +9,7 @@ import (
 
 func TestWALBeforeApply(t *testing.T) {
 	results := analysistest.Run(t, "testdata", walapply.Analyzer, "durable")
-	if n := len(results[0].Findings); n != 3 {
-		t.Errorf("expected 3 findings, got %d", n)
+	if n := len(results[0].Findings); n != 4 {
+		t.Errorf("expected 4 findings, got %d", n)
 	}
 }

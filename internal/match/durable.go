@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -77,6 +78,12 @@ type DurableOptions struct {
 	// Progress, when set, is called during replay: phase is "snapshot" or
 	// "log", total is -1 while unknown (log tails are not pre-counted).
 	Progress func(phase string, done, total int)
+	// OnStage, when set, receives durations of internally timed stages
+	// that have no request to attach to: snapshot cut and publish
+	// (obs.StageSnapshotCut / obs.StageSnapshotPublish), from both
+	// explicit Snapshot calls and background cadence snapshots. Must be
+	// safe for concurrent use.
+	OnStage func(stage obs.Stage, d time.Duration)
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -399,6 +406,15 @@ func (d *DurableStore) loadSnapshot(path string) (int, error) {
 //
 //vetkit:wal-before-apply
 func (d *DurableStore) Add(values []string) (uint64, error) {
+	return d.AddTraced(values, nil)
+}
+
+// AddTraced is Add with request-scoped stage timing: the WAL write and
+// fsync land on the trace inside AppendTrace, the in-memory install on
+// StageStoreApply. A nil trace records nothing.
+//
+//vetkit:wal-before-apply
+func (d *DurableStore) AddTraced(values []string, tr *obs.Trace) (uint64, error) {
 	if len(values) != d.Store.arity {
 		return 0, fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), d.Store.arity, ErrArity)
 	}
@@ -409,13 +425,20 @@ func (d *DurableStore) Add(values []string) (uint64, error) {
 	}
 	id := d.Store.reserveID()
 	d.opBuf = appendAddOp(d.opBuf[:0], id, values)
-	if err := d.log.Append(d.opBuf); err != nil {
+	if err := d.log.AppendTrace(d.opBuf, tr); err != nil {
 		d.mu.Unlock()
 		return 0, fmt.Errorf("match: logging add: %w", err)
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	if err := d.Store.addAt(id, values); err != nil {
 		d.mu.Unlock()
 		return 0, err // unreachable: arity was checked before logging
+	}
+	if tr != nil {
+		tr.Observe(obs.StageStoreApply, t0)
 	}
 	d.opsTail++
 	trigger := d.shouldSnapshotLocked()
@@ -435,6 +458,13 @@ func (d *DurableStore) Add(values []string) (uint64, error) {
 //
 //vetkit:wal-before-apply
 func (d *DurableStore) AddAt(id uint64, values []string) error {
+	return d.AddAtTraced(id, values, nil)
+}
+
+// AddAtTraced is AddAt with request-scoped stage timing (see AddTraced).
+//
+//vetkit:wal-before-apply
+func (d *DurableStore) AddAtTraced(id uint64, values []string, tr *obs.Trace) error {
 	if len(values) != d.Store.arity {
 		return fmt.Errorf("match: record has %d values, store schema has %d: %w", len(values), d.Store.arity, ErrArity)
 	}
@@ -448,13 +478,20 @@ func (d *DurableStore) AddAt(id uint64, values []string) error {
 		return fmt.Errorf("match: AddAt(%d): a live record already holds that ID", id)
 	}
 	d.opBuf = appendAddOp(d.opBuf[:0], id, values)
-	if err := d.log.Append(d.opBuf); err != nil {
+	if err := d.log.AppendTrace(d.opBuf, tr); err != nil {
 		d.mu.Unlock()
 		return fmt.Errorf("match: logging add: %w", err)
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	if err := d.Store.addAt(id, values); err != nil {
 		d.mu.Unlock()
 		return err // unreachable: arity was checked before logging
+	}
+	if tr != nil {
+		tr.Observe(obs.StageStoreApply, t0)
 	}
 	d.Store.advanceNextID(id + 1)
 	d.opsTail++
@@ -471,6 +508,13 @@ func (d *DurableStore) AddAt(id uint64, values []string) error {
 //
 //vetkit:wal-before-apply
 func (d *DurableStore) Delete(id uint64) (bool, error) {
+	return d.DeleteTraced(id, nil)
+}
+
+// DeleteTraced is Delete with request-scoped stage timing (see AddTraced).
+//
+//vetkit:wal-before-apply
+func (d *DurableStore) DeleteTraced(id uint64, tr *obs.Trace) (bool, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -481,11 +525,18 @@ func (d *DurableStore) Delete(id uint64) (bool, error) {
 		return false, nil
 	}
 	d.opBuf = appendDeleteOp(d.opBuf[:0], id)
-	if err := d.log.Append(d.opBuf); err != nil {
+	if err := d.log.AppendTrace(d.opBuf, tr); err != nil {
 		d.mu.Unlock()
 		return false, fmt.Errorf("match: logging delete: %w", err)
 	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	d.Store.Delete(id) // cannot miss: alive above, mutations hold d.mu
+	if tr != nil {
+		tr.Observe(obs.StageStoreApply, t0)
+	}
 	d.opsTail++
 	trigger := d.shouldSnapshotLocked()
 	d.mu.Unlock()
@@ -564,6 +615,10 @@ func (d *DurableStore) snapshotLocked() (SnapshotInfo, error) {
 	d.seq = newSeq
 	d.opsTail = 0
 	d.mu.Unlock()
+	cutDone := time.Now()
+	if d.opts.OnStage != nil {
+		d.opts.OnStage(obs.StageSnapshotCut, cutDone.Sub(start))
+	}
 
 	size, err := d.writeSnapshotFile(newSeq, nextID, entries)
 	if err != nil {
@@ -584,6 +639,9 @@ func (d *DurableStore) snapshotLocked() (SnapshotInfo, error) {
 		}
 	}
 
+	if d.opts.OnStage != nil {
+		d.opts.OnStage(obs.StageSnapshotPublish, time.Since(cutDone))
+	}
 	info := SnapshotInfo{Seq: newSeq, Records: len(entries), Bytes: size, Duration: time.Since(start)}
 	d.snapshots.Add(1)
 	d.snapSeq.Store(newSeq)

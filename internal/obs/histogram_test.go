@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// oracleQuantile is the nearest-rank quantile over the exact sample set.
+func oracleQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back to the same bucket, and
+	// the next value must map to the next bucket.
+	for i := 0; i < histBuckets; i++ {
+		hi := bucketMax(i)
+		if got := bucketIndex(hi); got != i {
+			t.Fatalf("bucketIndex(bucketMax(%d)=%d) = %d", i, hi, got)
+		}
+		if i+1 < histBuckets {
+			if got := bucketIndex(hi + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", hi+1, got, i+1)
+			}
+		}
+	}
+	var h Histogram
+	h.Observe(-5) // clamps to 0 before bucketing
+	if got := h.buckets[0].Load(); got != 1 {
+		t.Fatalf("Observe(-5) landed outside bucket 0 (bucket0=%d)", got)
+	}
+	if s := h.Snapshot(); s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("Observe(-5): sum=%d max=%d, want 0,0", s.Sum, s.Max)
+	}
+}
+
+func TestHistogramQuantileVsOracle(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform":    func(r *rand.Rand) int64 { return r.Int63n(5_000_000) },
+		"log_spread": func(r *rand.Rand) int64 { return int64(1) << r.Intn(40) },
+		"heavy_tail": func(r *rand.Rand) int64 {
+			v := r.Int63n(100_000)
+			if r.Intn(100) == 0 {
+				v *= 1000
+			}
+			return v
+		},
+		"tiny": func(r *rand.Rand) int64 { return r.Int63n(10) },
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			var h Histogram
+			samples := make([]int64, 20_000)
+			for i := range samples {
+				samples[i] = gen(r)
+				h.Observe(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			s := h.Snapshot()
+			if s.Count != int64(len(samples)) {
+				t.Fatalf("Count = %d, want %d", s.Count, len(samples))
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+				want := oracleQuantile(samples, q)
+				got := s.Quantile(q)
+				// The estimate is the upper bound of the oracle's bucket:
+				// never below the oracle, and within the 12.5% relative
+				// bucket-width guarantee (plus 1 for the unit buckets).
+				if got < want {
+					t.Errorf("q=%v: estimate %d below oracle %d", q, got, want)
+				}
+				if limit := want + want/8 + 1; got > limit {
+					t.Errorf("q=%v: estimate %d above oracle %d + 12.5%% (%d)", q, got, want, limit)
+				}
+			}
+			if s.Max != samples[len(samples)-1] {
+				t.Errorf("Max = %d, want %d", s.Max, samples[len(samples)-1])
+			}
+			var sum int64
+			for _, v := range samples {
+				sum += v
+			}
+			if s.Sum != sum {
+				t.Errorf("Sum = %d, want %d", s.Sum, sum)
+			}
+			if want := float64(sum) / float64(len(samples)); s.Mean() != want {
+				t.Errorf("Mean = %v, want %v", s.Mean(), want)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v, want 0", got)
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var a, b, c Histogram
+	all := make([]int64, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		va, vb, vc := r.Int63n(1_000_000), r.Int63n(50_000_000), int64(1)<<r.Intn(30)
+		a.Observe(va)
+		b.Observe(vb)
+		c.Observe(vc)
+		all = append(all, va, vb, vc)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	// (a+b)+c
+	left := a.Snapshot()
+	left.Merge(b.Snapshot())
+	left.Merge(c.Snapshot())
+	// a+(b+c)
+	bc := b.Snapshot()
+	bc.Merge(c.Snapshot())
+	right := a.Snapshot()
+	right.Merge(bc)
+	// c+(b+a): commutativity rides along
+	ba := b.Snapshot()
+	ba.Merge(a.Snapshot())
+	comm := c.Snapshot()
+	comm.Merge(ba)
+
+	for _, m := range []*HistSnapshot{&right, &comm} {
+		if left.Counts != m.Counts || left.Count != m.Count || left.Sum != m.Sum || left.Max != m.Max {
+			t.Fatalf("merge not associative/commutative:\n left=%+v\nother=%+v",
+				summary(&left), summary(m))
+		}
+	}
+	if got, want := left.Quantile(0.99), oracleQuantile(all, 0.99); got < want || got > want+want/8+1 {
+		t.Fatalf("merged p99 = %d, oracle %d", got, want)
+	}
+	if left.Count != int64(len(all)) {
+		t.Fatalf("merged Count = %d, want %d", left.Count, len(all))
+	}
+}
+
+func summary(s *HistSnapshot) map[string]int64 {
+	return map[string]int64{"count": s.Count, "sum": s.Sum, "max": s.Max}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// Run with -race (make tier1 does): concurrent Observe + Snapshot
+	// must be clean and lose no observations.
+	const goroutines, per = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(r.Int63n(10_000_000))
+			}
+		}(int64(g))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := h.Snapshot()
+			_ = s.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Fatalf("lost observations: Count = %d, want %d", s.Count, goroutines*per)
+	}
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count() = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+// TestObserveAllocs pins the hot-path instruments at zero heap
+// allocations per op (wired into `make allocs` via the 'Alloc' pattern).
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(123456) }); n != 0 {
+		t.Fatalf("Histogram.Observe: %v allocs/op, want 0", n)
+	}
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("Counter.Add: %v allocs/op, want 0", n)
+	}
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7); g.Add(-1) }); n != 0 {
+		t.Fatalf("Gauge.Set/Add: %v allocs/op, want 0", n)
+	}
+	tr := NewTrace(1)
+	if n := testing.AllocsPerRun(1000, func() { tr.Add(StageScore, 100) }); n != 0 {
+		t.Fatalf("Trace.Add: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { tr.ObservePartition(3, 500) }); n != 0 {
+		t.Fatalf("Trace.ObservePartition: %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v*2862933555777941757 + 3037000493) & 0xfffff
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+)
+
+// RegisterRuntime registers a runtime_stats Func metric sampling the Go
+// runtime at scrape time: heap in use, GC cycle count and cumulative
+// pause, goroutine count, GOMAXPROCS, and the process's open file
+// descriptor count (-1 where /proc is unavailable).
+func RegisterRuntime(r *Registry) {
+	r.Func("runtime_stats", func() any {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return map[string]any{
+			"heap_alloc_bytes":   ms.HeapAlloc,
+			"heap_sys_bytes":     ms.HeapSys,
+			"heap_objects":       ms.HeapObjects,
+			"total_alloc_bytes":  ms.TotalAlloc,
+			"gc_cycles":          ms.NumGC,
+			"gc_pause_total_ns":  ms.PauseTotalNs,
+			"gc_cpu_fraction":    ms.GCCPUFraction,
+			"goroutines":         runtime.NumGoroutine(),
+			"gomaxprocs":         runtime.GOMAXPROCS(0),
+			"open_fds":           openFDCount(),
+			"next_gc_heap_bytes": ms.NextGC,
+		}
+	})
+}
+
+// openFDCount counts the process's open file descriptors via
+// /proc/self/fd; returns -1 on platforms without procfs.
+func openFDCount() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 )
 
 // ErrNotDurable marks snapshot requests against an in-memory partition.
@@ -133,6 +134,33 @@ func (l *Local) Get(id uint64) ([]string, bool) { return l.st.Get(id) }
 // partition's records with the global pruning verdict applied.
 func (l *Local) Resolve(probe []string, k int, skip []string) ([]match.Scored, error) {
 	return l.sc.ResolveShard(l.st, probe, k, skip)
+}
+
+// TraceMutator is the optional capability of a Partition whose mutations
+// can carry a request-scoped obs.Trace (WAL append/fsync/apply stage
+// timing). The router type-asserts for it; partitions without it are
+// driven through the plain Partition methods and simply record no
+// durability stages.
+type TraceMutator interface {
+	AddAtTraced(id uint64, values []string, tr *obs.Trace) error
+	DeleteTraced(id uint64, tr *obs.Trace) (bool, error)
+}
+
+// AddAtTraced implements TraceMutator. In-memory partitions have no WAL;
+// only the durable path records stages.
+func (l *Local) AddAtTraced(id uint64, values []string, tr *obs.Trace) error {
+	if l.dur != nil {
+		return l.dur.AddAtTraced(id, values, tr)
+	}
+	return l.st.AddAt(id, values)
+}
+
+// DeleteTraced implements TraceMutator.
+func (l *Local) DeleteTraced(id uint64, tr *obs.Trace) (bool, error) {
+	if l.dur != nil {
+		return l.dur.DeleteTraced(id, tr)
+	}
+	return l.st.Delete(id), nil
 }
 
 // Len implements Partition.

@@ -7,8 +7,10 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -260,11 +262,25 @@ func (s *Store) Len() int {
 // ID sequence is exactly the one a flat store would have assigned, so
 // ranking tie-breaks are partition-invariant.
 func (s *Store) Add(values []string) (uint64, error) {
+	return s.AddTraced(values, nil)
+}
+
+// AddTraced is Add carrying a request-scoped trace into the owning
+// partition's durability path (WAL append/fsync/apply stages). A nil
+// trace records nothing.
+func (s *Store) AddTraced(values []string, tr *obs.Trace) (uint64, error) {
 	if len(values) != s.arity {
 		return 0, fmt.Errorf("partition: record has %d values, store schema has %d: %w", len(values), s.arity, match.ErrArity)
 	}
 	id := s.nextID.Add(1) - 1
-	if err := s.parts[s.partitionOf(id)].primary().AddAt(id, values); err != nil {
+	p := s.parts[s.partitionOf(id)].primary()
+	var err error
+	if tm, ok := p.(TraceMutator); ok {
+		err = tm.AddAtTraced(id, values, tr)
+	} else {
+		err = p.AddAt(id, values)
+	}
+	if err != nil {
 		return 0, err
 	}
 	s.censusAdd(values)
@@ -275,12 +291,22 @@ func (s *Store) Add(values []string) (uint64, error) {
 // lands, removes the record's tokens from the census. False means the ID
 // is unknown or already deleted.
 func (s *Store) Delete(id uint64) (bool, error) {
+	return s.DeleteTraced(id, nil)
+}
+
+// DeleteTraced is Delete carrying a request-scoped trace (see AddTraced).
+func (s *Store) DeleteTraced(id uint64, tr *obs.Trace) (bool, error) {
 	p := s.parts[s.partitionOf(id)].primary()
 	vals, ok := p.Get(id)
 	if !ok {
 		return false, nil
 	}
-	ok, err := p.Delete(id)
+	var err error
+	if tm, tok := p.(TraceMutator); tok {
+		ok, err = tm.DeleteTraced(id, tr)
+	} else {
+		ok, err = p.Delete(id)
+	}
 	if err != nil || !ok {
 		// A concurrent delete won the race (ok=false): it also owns the
 		// census decrement.
@@ -308,15 +334,33 @@ func (s *Store) Get(id uint64) ([]string, bool) {
 // partition's top k (the ranking is a total order — Prob descending, ID
 // ascending), so merging the partitions' k-bounded lists loses nothing.
 func (s *Store) Resolve(probe []string, k int) ([]match.Scored, error) {
+	return s.ResolveTraced(probe, k, nil)
+}
+
+// ResolveTraced is Resolve with request-scoped stage timing: census
+// pruning on StageProbeTokenize, the scatter wall time on StageScatter
+// with per-leg durations feeding the slowest-partition attribution
+// (StageScatterSlowest + Trace.Slowest), and the bounded-heap merge on
+// StageTopKMerge. A nil trace records nothing and takes no timestamps.
+func (s *Store) ResolveTraced(probe []string, k int, tr *obs.Trace) ([]match.Scored, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("partition: Resolve needs k > 0, got %d", k)
 	}
 	if len(probe) != s.arity {
 		return nil, fmt.Errorf("partition: probe has %d values, store schema has %d: %w", len(probe), s.arity, match.ErrArity)
 	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	skip, err := s.appendSkip(nil, probe)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.Add(obs.StageProbeTokenize, now.Sub(t0))
+		t0 = now
 	}
 	n := len(s.parts)
 	per := make([][]match.Scored, n)
@@ -327,9 +371,24 @@ func (s *Store) Resolve(probe []string, k int) ([]match.Scored, error) {
 		g := s.parts[i]
 		r := g.pick(s.pickSeq.Add(1))
 		g.pending[r].Add(1)
+		var legStart time.Time
+		if tr != nil {
+			legStart = time.Now()
+		}
 		per[i], errs[i] = g.reps[r].Resolve(probe, k, skip)
+		if tr != nil {
+			tr.ObservePartition(i, time.Since(legStart))
+		}
 		g.pending[r].Add(-1)
 	})
+	if tr != nil {
+		now := time.Now()
+		tr.Add(obs.StageScatter, now.Sub(t0))
+		if _, slowest := tr.Slowest(); slowest > 0 {
+			tr.Add(obs.StageScatterSlowest, slowest)
+		}
+		t0 = now
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -344,7 +403,11 @@ func (s *Store) Resolve(probe []string, k int) ([]match.Scored, error) {
 	}
 	s.probes.Add(1)
 	s.pruned.Add(int64(len(skip)))
-	return top.AppendSorted(nil), nil
+	sorted := top.AppendSorted(nil)
+	if tr != nil {
+		tr.Add(obs.StageTopKMerge, time.Since(t0))
+	}
+	return sorted, nil
 }
 
 // Snapshot cuts a snapshot of every durable partition concurrently and

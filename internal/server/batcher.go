@@ -19,6 +19,7 @@ import (
 	"time"
 
 	learnrisk "repro"
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by Submit after Close: the batcher no longer
@@ -32,6 +33,11 @@ var ErrClosed = errors.New("server: batcher closed")
 type pending struct {
 	pair learnrisk.Pair
 	resp chan scored
+	// tr, when non-nil, is the submitter's request trace: flush records
+	// the enqueue wait (enq to assembly), the batch assembly span and the
+	// ScoreBatch duration onto it. enq is only set when tr is.
+	tr  *obs.Trace
+	enq time.Time
 }
 
 // scored is one request's outcome: the verdict and the fingerprint of the
@@ -105,6 +111,10 @@ func (b *Batcher) Submit(ctx context.Context, pair learnrisk.Pair) (learnrisk.Pa
 		return learnrisk.PairScore{}, "", err
 	}
 	p := pending{pair: pair, resp: make(chan scored, 1)}
+	if tr := obs.FromContext(ctx); tr != nil {
+		p.tr = tr
+		p.enq = time.Now()
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -224,8 +234,24 @@ func (b *Batcher) flush(batch []pending) {
 	m := b.model.Load()
 	fp := m.Fingerprint()
 	pairs := make([]learnrisk.Pair, len(batch))
+	traced := false
+	asm := time.Time{}
 	for i, p := range batch {
 		pairs[i] = p.pair
+		traced = traced || p.tr != nil
+	}
+	if traced {
+		// One clock read covers the whole batch: each pending's enqueue
+		// wait ends here, and the ScoreBatch span starts here. The gap
+		// between the first pending's enqueue and now is the assembly span
+		// (greedy drain + linger) the whole batch shared.
+		asm = time.Now()
+		for _, p := range batch {
+			p.tr.Add(obs.StageBatchWait, asm.Sub(p.enq))
+		}
+		if first := batch[0]; first.tr != nil {
+			first.tr.Add(obs.StageBatchAssemble, asm.Sub(first.enq))
+		}
 	}
 	b.flushes.Add(1)
 	b.batched.Add(int64(len(batch)))
@@ -236,6 +262,12 @@ func (b *Batcher) flush(batch []pending) {
 		}
 	}
 	scores, err := m.ScoreBatch(pairs)
+	if traced {
+		d := time.Since(asm)
+		for _, p := range batch {
+			p.tr.Add(obs.StageScoreBatch, d)
+		}
+	}
 	if err != nil {
 		for _, p := range batch {
 			s, serr := m.Score(p.pair)

@@ -9,6 +9,7 @@ import (
 
 	learnrisk "repro"
 	"repro/internal/match"
+	"repro/internal/obs"
 )
 
 // The wire format. Every response is JSON; errors come back as
@@ -112,6 +113,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/model/reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.metrics != nil {
+		mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	}
 	return mux
 }
 
@@ -120,7 +124,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	score, fp, err := s.Score(r.Context(), learnrisk.Pair{Left: req.Left, Right: req.Right})
+	tr := s.metrics.begin()
+	ctx := obs.WithTrace(r.Context(), tr)
+	score, fp, err := s.Score(ctx, learnrisk.Pair{Left: req.Left, Right: req.Right})
+	s.metrics.finish(reqScore, tr)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

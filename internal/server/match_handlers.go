@@ -78,7 +78,9 @@ func (s *Server) handleAddRecord(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	id, err := s.AddRecord(req.Values)
+	tr := s.metrics.begin()
+	id, err := s.addRecordTraced(req.Values, tr)
+	s.metrics.finish(reqIngest, tr)
 	if err != nil {
 		writeMutationError(w, err)
 		return
@@ -102,7 +104,9 @@ func (s *Server) handleDeleteRecord(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad record id %q: %w", r.PathValue("id"), err))
 		return
 	}
-	ok, err := s.DeleteRecord(id)
+	tr := s.metrics.begin()
+	ok, err := s.deleteRecordTraced(id, tr)
+	s.metrics.finish(reqIngest, tr)
 	if err != nil {
 		writeMutationError(w, err)
 		return
@@ -127,7 +131,9 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be in 1..%d, got %d", maxResolveK, k))
 		return
 	}
-	res, st, fp, err := s.Resolve(req.Values, k)
+	tr := s.metrics.begin()
+	res, st, fp, err := s.resolveTraced(req.Values, k, tr)
+	s.metrics.finish(reqResolve, tr)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

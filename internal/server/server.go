@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	learnrisk "repro"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -79,6 +81,19 @@ type Config struct {
 	// 256 in partitioned mode; < 0 disables the gate. In flat mode 0 keeps
 	// the gate off (the single store's shard locks are the only queue).
 	MaxPending int
+	// Obs, when set, turns on the observability layer: per-stage and
+	// per-request latency histograms and the serving debug vars register
+	// on this registry (rendered by GET /metrics and, after
+	// Registry.MirrorExpvar, on /debug/vars), and every request carries
+	// an obs.Trace through the serving stack. nil keeps tracing off —
+	// the zero-overhead mode.
+	Obs *obs.Registry
+	// SlowRequest, when > 0 (and Obs is set), logs a structured slog
+	// line (request id, kind, per-stage breakdown) for every request
+	// whose wall time crosses it.
+	SlowRequest time.Duration
+	// Logger receives the slow-request lines (default slog.Default()).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +171,10 @@ type Server struct {
 	// while warm-loading records into the store.
 	notReady atomic.Pointer[string]
 
+	// metrics is the observability surface (Config.Obs); nil disables
+	// request tracing and /metrics. All its methods are nil-safe.
+	metrics *Metrics
+
 	reloadMu sync.Mutex // serializes Swap/Reload (loading is expensive)
 	swaps    atomic.Int64
 	served   atomic.Int64
@@ -196,7 +215,32 @@ func New(m *learnrisk.Model, cfg Config) *Server {
 		s.ingestSem = make(chan struct{}, s.cfg.MaxPending)
 	}
 	s.batcher = NewBatcher(&s.model, s.cfg.MaxBatch, s.cfg.MaxLinger)
+	if s.cfg.Obs != nil {
+		s.metrics = newMetrics(s.cfg.Obs, s.cfg.SlowRequest, s.cfg.Logger)
+		registerServerMetrics(s, s.cfg.Obs)
+	}
 	return s
+}
+
+// Metrics returns the observability surface, or nil when Config.Obs was
+// not set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry returns the metrics registry, or nil when Config.Obs was not
+// set.
+func (s *Server) Registry() *obs.Registry {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.reg
+}
+
+// ObserveStage feeds one stage duration straight into its registry
+// histogram, bypassing request traces — the hook for stages measured by
+// background machinery (cmd/serve wires match.DurableOptions.OnStage to
+// it for snapshot cut/publish). A no-op without Config.Obs.
+func (s *Server) ObserveStage(stage obs.Stage, d time.Duration) {
+	s.metrics.observeStage(stage, d)
 }
 
 // modelScorer adapts the server's hot-swappable model pointer to
@@ -428,6 +472,10 @@ func (s *Server) InstallPartitionedStore(ps *partition.Store) error {
 // fsync=always, on disk) before the call returns. A full ingest queue
 // refuses with ErrBackpressure.
 func (s *Server) AddRecord(values []string) (uint64, error) {
+	return s.addRecordTraced(values, nil)
+}
+
+func (s *Server) addRecordTraced(values []string, tr *obs.Trace) (uint64, error) {
 	if err := s.acquireIngest(); err != nil {
 		return 0, err
 	}
@@ -436,10 +484,10 @@ func (s *Server) AddRecord(values []string) (uint64, error) {
 		if s.durablePending.Load() {
 			return 0, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
 		}
-		return ps.Add(values)
+		return ps.AddTraced(values, tr)
 	}
 	if d := s.durable.Load(); d != nil {
-		return d.Add(values)
+		return d.AddTraced(values, tr)
 	}
 	if s.durablePending.Load() {
 		return 0, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
@@ -451,6 +499,10 @@ func (s *Server) AddRecord(values []string) (uint64, error) {
 // already deleted. Durable deletes are logged before they apply. A full
 // ingest queue refuses with ErrBackpressure.
 func (s *Server) DeleteRecord(id uint64) (bool, error) {
+	return s.deleteRecordTraced(id, nil)
+}
+
+func (s *Server) deleteRecordTraced(id uint64, tr *obs.Trace) (bool, error) {
 	if err := s.acquireIngest(); err != nil {
 		return false, err
 	}
@@ -459,10 +511,10 @@ func (s *Server) DeleteRecord(id uint64) (bool, error) {
 		if s.durablePending.Load() {
 			return false, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
 		}
-		return ps.Delete(id)
+		return ps.DeleteTraced(id, tr)
 	}
 	if d := s.durable.Load(); d != nil {
-		return d.Delete(id)
+		return d.DeleteTraced(id, tr)
 	}
 	if s.durablePending.Load() {
 		return false, fmt.Errorf("%w: the durable store is still replaying", ErrStoreLoading)
@@ -525,9 +577,13 @@ func (s *Server) Live() int {
 // rendering record values must fetch them from it, not from a fresh
 // MatchStore() load.
 func (s *Server) Resolve(probe []string, k int) ([]learnrisk.MatchResult, RecordSource, string, error) {
+	return s.resolveTraced(probe, k, nil)
+}
+
+func (s *Server) resolveTraced(probe []string, k int, tr *obs.Trace) ([]learnrisk.MatchResult, RecordSource, string, error) {
 	m := s.model.Load()
 	if ps := s.parts.Load(); ps != nil {
-		res, err := m.ResolvePartitioned(ps, probe, k)
+		res, err := m.ResolvePartitionedTraced(ps, probe, k, tr)
 		if err != nil {
 			return nil, nil, "", err
 		}
@@ -535,7 +591,7 @@ func (s *Server) Resolve(probe []string, k int) ([]learnrisk.MatchResult, Record
 		return res, ps, m.Fingerprint(), nil
 	}
 	st := s.store.Load()
-	res, err := m.Resolve(st, probe, k)
+	res, err := m.ResolveTraced(st, probe, k, tr)
 	if err != nil {
 		return nil, nil, "", err
 	}

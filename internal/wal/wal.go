@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // MaxFrame bounds one frame's payload (16 MiB). Appends beyond it are
@@ -174,8 +176,20 @@ func NewWriter(f File, off int64, opts Options) *Writer {
 // The payload must be 1..MaxFrame bytes. On return with a nil error the
 // frame is fully written (and durable under SyncAlways).
 func (w *Writer) Append(payload []byte) error {
+	return w.AppendTrace(payload, nil)
+}
+
+// AppendTrace is Append with request-scoped stage timing: when tr is
+// non-nil the frame build+write lands on StageWALAppend and the
+// SyncAlways fsync on StageWALFsync. A nil tr records nothing and takes
+// no timestamps.
+func (w *Writer) AppendTrace(payload []byte, tr *obs.Trace) error {
 	if len(payload) == 0 || len(payload) > MaxFrame {
 		return fmt.Errorf("wal: payload of %d bytes outside 1..%d", len(payload), MaxFrame)
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -212,12 +226,19 @@ func (w *Writer) Append(payload []byte) error {
 	w.off += int64(need)
 	w.appends.Add(1)
 	w.bytes.Add(int64(need))
+	if tr != nil {
+		tr.Observe(obs.StageWALAppend, t0)
+		t0 = time.Now()
+	}
 	if w.always {
 		if err := w.f.Sync(); err != nil {
 			w.err = fmt.Errorf("wal: fsync failed, writer poisoned: %w", err)
 			return w.err
 		}
 		w.syncs.Add(1)
+		if tr != nil {
+			tr.Observe(obs.StageWALFsync, t0)
+		}
 		return nil
 	}
 	w.dirty.Store(true)

@@ -1,0 +1,60 @@
+// Tracing-overhead benchmarks: the same warm resolve path with stage
+// tracing off (nil *Trace threaded through, the production default when
+// no request trace is attached) vs on (a live Trace recording every
+// stage). cmd/bench records them into BENCH_PR10.json (Makefile
+// bench-pr10); the acceptance bar is the on/off delta staying within
+// run-to-run noise, which PERFORMANCE.md quantifies from these numbers.
+package learnrisk_test
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// BenchmarkObsResolveWarmTracingOff is the baseline: identical to the
+// warm resolve path with a nil trace — every timing branch short-circuits
+// on the nil check without reading the clock.
+func BenchmarkObsResolveWarmTracingOff(b *testing.B) {
+	m, st := resolveBenchSetup(b)
+	probes := resolveProbes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ResolveTraced(st, probes[i%len(probes)], resolveBenchK, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsResolveWarmTracingOn pays the full cost of a live trace:
+// clock reads around tokenize/score/merge and atomic stage accumulation.
+func BenchmarkObsResolveWarmTracingOn(b *testing.B) {
+	m, st := resolveBenchSetup(b)
+	probes := resolveProbes
+	tr := obs.NewTrace(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ResolveTraced(st, probes[i%len(probes)], resolveBenchK, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if tr.Total() <= 0 {
+		b.Fatal("trace recorded nothing — the traced path was not exercised")
+	}
+}
+
+// BenchmarkObsHistogramObserveContended measures the shared-instrument
+// cost every traced stage ultimately funnels into: concurrent Observe on
+// one histogram across GOMAXPROCS goroutines.
+func BenchmarkObsHistogramObserveContended(b *testing.B) {
+	var h obs.Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(17)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v*2862933555777941757 + 3037000493) & 0xffffff
+		}
+	})
+}

@@ -2,8 +2,10 @@ package learnrisk
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -70,7 +72,7 @@ func (m *Model) ResolveShard(st *MatchStore, probe []string, k int, skip []strin
 		return nil, err
 	}
 	s := m.acquireResolveScratch()
-	m.rankInto(st, probe, k, skip, s)
+	m.rankInto(st, probe, k, skip, s, nil)
 	out := make([]ScoredMatch, len(s.sorted))
 	for i, e := range s.sorted {
 		out[i] = ScoredMatch{ID: s.kept[e.ID], Rank: s.scores[e.ID].Prob}
@@ -87,19 +89,31 @@ func (m *Model) ResolveShard(st *MatchStore, probe []string, k int, skip []strin
 // store holding the same records (the cross-layer equivalence test pins
 // this). Safe for concurrent use, including with Add/Delete on the store.
 func (m *Model) ResolvePartitioned(ps *PartitionedMatchStore, probe []string, k int) ([]MatchResult, error) {
+	return m.ResolvePartitionedTraced(ps, probe, k, nil)
+}
+
+// ResolvePartitionedTraced is ResolvePartitioned with request-scoped
+// stage timing: the router records census pruning, the scatter (with
+// slowest-partition attribution) and the merge; the winner re-scoring
+// here lands on StageScore. A nil trace records nothing.
+func (m *Model) ResolvePartitionedTraced(ps *PartitionedMatchStore, probe []string, k int, tr *Trace) ([]MatchResult, error) {
 	if ps == nil {
 		return nil, fmt.Errorf("learnrisk: ResolvePartitioned needs a partitioned store (build one with NewPartitionedMatchStore)")
 	}
 	if ps.Arity() != len(m.attrs) {
 		return nil, fmt.Errorf("learnrisk: partitioned store arity %d does not match the model schema's %d", ps.Arity(), len(m.attrs))
 	}
-	ranked, err := ps.Resolve(probe, k)
+	ranked, err := ps.ResolveTraced(probe, k, tr)
 	if err != nil {
 		return nil, err
 	}
 	// Re-score the winners into full verdicts: k is small and scorePair is
 	// deterministic, so the Prob of each re-scored pair is bit-identical to
 	// the rank the merge ordered it by.
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	s := m.acquireScratch()
 	out := make([]MatchResult, 0, len(ranked))
 	for _, e := range ranked {
@@ -110,5 +124,8 @@ func (m *Model) ResolvePartitioned(ps *PartitionedMatchStore, probe []string, k 
 		out = append(out, MatchResult{ID: e.ID, Score: m.scorePair(Pair{Left: probe, Right: vals}, s)})
 	}
 	m.pool.Put(s)
+	if tr != nil {
+		tr.Observe(obs.StageScore, t0)
+	}
 	return out, nil
 }

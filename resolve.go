@@ -3,8 +3,10 @@ package learnrisk
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -13,6 +15,11 @@ import (
 // come from the store's incremental blocking index, every (probe,
 // candidate) pair is scored through the same pooled zero-allocation scratch
 // Score uses, and a bounded top-k heap keeps only the k best verdicts.
+
+// Trace is a request-scoped stage timer (an alias for obs.Trace, see
+// MatchConfig for the aliasing rationale). A nil *Trace disables all
+// recording, so serving layers thread the pointer unconditionally.
+type Trace = obs.Trace
 
 // MatchResult is one resolved match: the stable store ID of the candidate
 // record and the full serving-path verdict of the (probe, candidate) pair.
@@ -106,11 +113,19 @@ func (m *Model) checkResolve(st *MatchStore, probe []string, k int) error {
 // shared enough blocking tokens. Safe for concurrent use, including
 // concurrently with Add/Delete on the store.
 func (m *Model) Resolve(st *MatchStore, probe []string, k int) ([]MatchResult, error) {
+	return m.ResolveTraced(st, probe, k, nil)
+}
+
+// ResolveTraced is Resolve with request-scoped stage timing: candidate
+// generation on StageProbeTokenize, per-candidate scoring on StageScore,
+// and the bounded-heap ranking on StageTopKMerge. A nil trace records
+// nothing and takes no timestamps.
+func (m *Model) ResolveTraced(st *MatchStore, probe []string, k int, tr *Trace) ([]MatchResult, error) {
 	if err := m.checkResolve(st, probe, k); err != nil {
 		return nil, err
 	}
 	s := m.acquireResolveScratch()
-	out := m.resolveInto(st, probe, k, s)
+	out := m.resolveTracedInto(st, probe, k, s, tr)
 	m.resolvePool.Put(s)
 	return out, nil
 }
@@ -142,7 +157,11 @@ const resolveBatchChunk = 4
 
 // resolveInto runs one (already-validated) probe inside a scratch.
 func (m *Model) resolveInto(st *MatchStore, probe []string, k int, s *resolveScratch) []MatchResult {
-	m.rankInto(st, probe, k, nil, s)
+	return m.resolveTracedInto(st, probe, k, s, nil)
+}
+
+func (m *Model) resolveTracedInto(st *MatchStore, probe []string, k int, s *resolveScratch, tr *Trace) []MatchResult {
+	m.rankInto(st, probe, k, nil, s, tr)
 	out := make([]MatchResult, len(s.sorted))
 	for i, e := range s.sorted {
 		out[i] = MatchResult{ID: s.kept[e.ID], Score: s.scores[e.ID]}
@@ -155,7 +174,11 @@ func (m *Model) resolveInto(st *MatchStore, probe []string, k int, s *resolveScr
 // scored on the zero-alloc path, the k best retained. It leaves the
 // verdicts in the scratch — s.sorted holds scratch positions best-first,
 // s.kept/s.scores map a position back to the record ID and its full score.
-func (m *Model) rankInto(st *MatchStore, probe []string, k int, skip []string, s *resolveScratch) {
+func (m *Model) rankInto(st *MatchStore, probe []string, k int, skip []string, s *resolveScratch, tr *Trace) {
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	var err error
 	s.ids, err = st.AppendCandidatesSkip(s.ids[:0], probe, &s.ps, skip)
 	if err != nil {
@@ -163,6 +186,11 @@ func (m *Model) rankInto(st *MatchStore, probe []string, k int, skip []string, s
 		// check, and checkResolve pinned the probe's arity to the store's
 		// before any resolve work started. The store's arity is immutable.
 		panic("learnrisk: resolve invariant violated: " + err.Error())
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.Add(obs.StageProbeTokenize, now.Sub(t0))
+		t0 = now
 	}
 	s.topk.Reset(k)
 	s.kept = s.kept[:0]
@@ -180,5 +208,13 @@ func (m *Model) rankInto(st *MatchStore, probe []string, k int, skip []string, s
 		// preserves the ID tie-break.
 		s.topk.Offer(match.Scored{ID: pos, Rank: sc.Prob})
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.Add(obs.StageScore, now.Sub(t0))
+		t0 = now
+	}
 	s.sorted = s.topk.AppendSorted(s.sorted[:0])
+	if tr != nil {
+		tr.Add(obs.StageTopKMerge, time.Since(t0))
+	}
 }
